@@ -1,0 +1,12 @@
+"""Design-choice ablations (DESIGN.md): what each HPE mechanism buys."""
+
+from conftest import run_once
+
+from repro.experiments.ablation import ablation
+
+
+def test_ablation(benchmark, harness_kwargs):
+    result = run_once(benchmark, ablation, **harness_kwargs)
+    by_variant = {row[0]: row for row in result.rows}
+    # Pinning LRU forfeits the speedup; the full config must beat it.
+    assert by_variant["full"][1] > by_variant["always-lru"][1]

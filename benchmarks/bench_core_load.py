@@ -1,0 +1,11 @@
+"""Regenerate the Section V-C host-CPU core-load estimate."""
+
+from conftest import run_once
+
+from repro.experiments.overhead import core_load
+
+
+def test_core_load(benchmark, harness_kwargs):
+    result = run_once(benchmark, core_load, **harness_kwargs)
+    for row in result.rows:
+        assert 0.0 <= row[2] <= 1.0

@@ -1,0 +1,11 @@
+"""Regenerate Fig. 3 (LRU/RRIP evictions normalised to Ideal, 75% OS)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure3
+
+
+def test_figure3(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure3, **harness_kwargs)
+    mean = next(row for row in result.rows if row[0] == "MEAN")
+    assert mean[2] >= 1.0  # LRU can never beat Ideal

@@ -1,0 +1,12 @@
+"""Regenerate Fig. 7 (sensitivity to page set size)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure7
+
+
+def test_figure7(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure7, **harness_kwargs)
+    mean = next(row for row in result.rows if row[0] == "MEAN")
+    # Paper: the three sizes stay within ~10% of each other.
+    assert all(0.7 <= value <= 1.4 for value in mean[1:])

@@ -1,0 +1,12 @@
+"""Regenerate Fig. 8 (sensitivity to interval length)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure8
+
+
+def test_figure8(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure8, **harness_kwargs)
+    mean = next(row for row in result.rows if row[0] == "MEAN")
+    # Paper: the three lengths stay within ~12% of each other.
+    assert all(0.7 <= value <= 1.4 for value in mean[1:])

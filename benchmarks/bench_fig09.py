@@ -1,0 +1,14 @@
+"""Regenerate Fig. 9 (ratio1/ratio2 at first-full)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure9
+
+
+def test_figure9(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure9, **harness_kwargs)
+    by_app = {row[0]: row for row in result.rows}
+    if "KMN" in by_app:
+        assert by_app["KMN"][4] == "irregular#2"  # paper's outlier
+    if "HOT" in by_app:
+        assert by_app["HOT"][4] == "regular"

@@ -1,0 +1,14 @@
+"""Regenerate Fig. 12 (all policies normalised to Ideal)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure12
+
+
+def test_figure12(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure12, **harness_kwargs)
+    at_75 = {row[1]: row for row in result.rows if row[0] == "75%"}
+    # HPE must be the best non-ideal policy on mean IPC.
+    hpe_ipc = at_75["hpe"][2]
+    for policy in ("lru", "random", "rrip", "clock-pro"):
+        assert hpe_ipc >= at_75[policy][2]

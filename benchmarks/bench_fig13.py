@@ -1,0 +1,14 @@
+"""Regenerate Fig. 13 (eviction-strategy adjustment breakdown)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure13
+
+
+def test_figure13(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure13, **harness_kwargs)
+    by_key = {row[0]: row for row in result.rows}
+    if "BFS 75%" in by_key:
+        assert by_key["BFS 75%"][4] >= 1  # BFS switches strategy
+    if "HOT 75%" in by_key:
+        assert by_key["HOT 75%"][3] == 1.0  # pure MRU-C

@@ -1,0 +1,11 @@
+"""Regenerate Fig. 14 (average MRU-C search overhead)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure14
+
+
+def test_figure14(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure14, **harness_kwargs)
+    for row in result.rows:
+        assert row[1] >= 1.0  # every search compares at least one entry

@@ -1,0 +1,13 @@
+"""Regenerate Fig. 15 (HIR entries transferred per transfer)."""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure15
+
+
+def test_figure15(benchmark, harness_kwargs):
+    result = run_once(benchmark, figure15, **harness_kwargs)
+    by_app = {row[0].split()[0]: row for row in result.rows}
+    if "MVT" in by_app and "HOT" in by_app:
+        # Paper: MVT ships far more entries than the typical app.
+        assert by_app["MVT"][1] > by_app["HOT"][1]

@@ -1,0 +1,11 @@
+"""Regenerate the Section V-C HIR storage-saving analysis."""
+
+from conftest import run_once
+
+from repro.experiments.overhead import hir_storage
+
+
+def test_hir_storage(benchmark, harness_kwargs):
+    result = run_once(benchmark, hir_storage, **harness_kwargs)
+    for row in result.rows:
+        assert row[1] > 0.0  # HIR must beat the naive address buffer

@@ -1,0 +1,15 @@
+"""Regenerate the Section V-C classification/search wall-clock probes."""
+
+from conftest import run_once
+
+from repro.experiments.overhead import classification_cost, search_cost
+
+
+def test_classification_cost(benchmark):
+    result = run_once(benchmark, classification_cost)
+    assert result.rows[0][1] > 0
+
+
+def test_search_cost(benchmark):
+    result = run_once(benchmark, search_cost)
+    assert result.rows[0][1] > 0

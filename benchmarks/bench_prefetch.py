@@ -1,0 +1,14 @@
+"""Extension: fault-around prefetch sweep (not in the paper)."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import prefetch
+
+
+def test_prefetch(benchmark, harness_kwargs):
+    result = run_once(benchmark, prefetch, **harness_kwargs)
+    degrees = [row[0] for row in result.rows]
+    assert degrees == [0, 1, 3, 7, 15]
+    # More prefetching must not increase the mean fault count.
+    faults = [row[1] for row in result.rows]
+    assert faults == sorted(faults, reverse=True)

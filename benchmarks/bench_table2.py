@@ -1,0 +1,10 @@
+"""Regenerate Table II (workload characteristics)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table2
+
+
+def test_table2(benchmark, harness_kwargs):
+    result = run_once(benchmark, table2, **harness_kwargs)
+    assert len(result.rows) >= 1

@@ -1,0 +1,11 @@
+"""Regenerate Table III (statistics-based classification)."""
+
+from conftest import run_once
+
+from repro.experiments.tables import table3
+
+
+def test_table3(benchmark, harness_kwargs):
+    result = run_once(benchmark, table3, **harness_kwargs)
+    categories = {row[2] for row in result.rows}
+    assert categories & {"regular", "irregular#1", "irregular#2"}

@@ -1,0 +1,10 @@
+"""Regenerate the Section V-A transfer-interval sensitivity study."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import transfer_interval
+
+
+def test_transfer_interval(benchmark, harness_kwargs):
+    result = run_once(benchmark, transfer_interval, **harness_kwargs)
+    assert [row[0] for row in result.rows] == [1, 8, 16, 32, 64]

@@ -1,0 +1,12 @@
+"""Regenerate the Section V-B page-walk-latency sensitivity study."""
+
+from conftest import run_once
+
+from repro.experiments.sensitivity import walk_latency
+
+
+def test_walk_latency(benchmark, harness_kwargs):
+    result = run_once(benchmark, walk_latency, **harness_kwargs)
+    for row in result.rows:
+        # Paper: minimal difference between 8 and 20 cycles.
+        assert abs(row[2] - 1.0) < 0.1

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""How much oversubscription can demand paging absorb?
+
+Sweeps the oversubscription rate from 95% down to 40% for a thrashing
+stencil workload (HSD) and a streaming workload (HOT), printing HPE's and
+LRU's slowdown relative to a fully-fitting run.  This extends the paper's
+two-point evaluation (75% / 50%) into a full curve — useful when sizing
+GPU memory for a workload.
+
+Run with:  python examples/oversubscription_sweep.py
+"""
+
+from repro.experiments.report import format_table
+from repro.experiments.runner import run_application
+
+
+def sweep(app: str, rates) -> list[list[object]]:
+    baseline = run_application(app, "lru", 1.0)
+    rows = []
+    for rate in rates:
+        lru = run_application(app, "lru", rate)
+        hpe = run_application(app, "hpe", rate)
+        rows.append([
+            f"{rate:.0%}",
+            baseline.ipc / lru.ipc,
+            baseline.ipc / hpe.ipc,
+            hpe.ipc / lru.ipc,
+        ])
+    return rows
+
+
+def main() -> None:
+    rates = (0.95, 0.85, 0.75, 0.60, 0.50, 0.40)
+    for app, story in (
+        ("HSD", "thrashing stencil — LRU collapses as soon as the working "
+                "set stops fitting"),
+        ("HOT", "pure streaming — any policy degrades gracefully"),
+    ):
+        rows = sweep(app, rates)
+        print(format_table(
+            ["memory", "LRU slowdown", "HPE slowdown", "HPE speedup"],
+            rows,
+            title=f"{app}: {story}",
+        ))
+        print()
+    print("The crossover story: for streaming workloads the eviction")
+    print("policy barely matters, so buy less memory; for iterative")
+    print("workloads HPE moves the cliff edge several capacity steps")
+    print("to the left compared with LRU.")
+
+
+if __name__ == "__main__":
+    main()

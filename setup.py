@@ -1,0 +1,8 @@
+"""Legacy shim so editable installs work without the `wheel` package.
+
+The primary metadata lives in pyproject.toml; environments that have the
+`wheel` package can use plain `pip install -e .`.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,62 @@
+"""repro — reproduction of "HPE: Hierarchical Page Eviction Policy for
+Unified Memory in GPUs" (Yu, Childers, Huang, Qian, Wang; IEEE TCAD 2019).
+
+Quickstart
+----------
+>>> from repro import HPEPolicy, LRUPolicy, simulate
+>>> from repro.workloads import thrashing
+>>> trace = thrashing(num_pages=2048, iterations=6)
+>>> capacity = trace.capacity_for(0.75)
+>>> hpe = simulate(trace.pages, HPEPolicy(), capacity)
+>>> lru = simulate(trace.pages, LRUPolicy(), capacity)
+>>> hpe.evictions < lru.evictions
+True
+
+Package layout
+--------------
+* :mod:`repro.core` — HPE itself (page set chain, HIR, classifier, …);
+* :mod:`repro.policies` — LRU / Random / RRIP / CLOCK-Pro / Ideal baselines;
+* :mod:`repro.memory`, :mod:`repro.tlb`, :mod:`repro.uvm` — the simulated
+  GPU memory system;
+* :mod:`repro.sim` — the trace-driven timing engine;
+* :mod:`repro.workloads` — Fig. 2 pattern generators and the Table II suite;
+* :mod:`repro.experiments` — harnesses regenerating every table and figure.
+"""
+
+from repro.core.hpe import HPEConfig, HPEPolicy
+from repro.policies import (
+    ClockProPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    IdealPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    RRIPConfig,
+    RRIPPolicy,
+)
+from repro.sim import GPUConfig, SimulationResult, UVMSimulator, simulate
+from repro.workloads import PatternType, Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ClockProPolicy",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "GPUConfig",
+    "HPEConfig",
+    "HPEPolicy",
+    "IdealPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PatternType",
+    "RRIPConfig",
+    "RRIPPolicy",
+    "RandomPolicy",
+    "SimulationResult",
+    "Trace",
+    "UVMSimulator",
+    "simulate",
+    "__version__",
+]

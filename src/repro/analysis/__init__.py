@@ -1,0 +1,29 @@
+"""Trace analysis: reuse distances, miss-ratio curves, pattern inference."""
+
+from repro.analysis.patterns import (
+    PatternFeatures,
+    extract_features,
+    infer_pattern,
+)
+from repro.analysis.reuse import (
+    COLD,
+    ReuseProfile,
+    belady_faults,
+    belady_miss_curve,
+    lru_miss_curve,
+    profile,
+    reuse_distances,
+)
+
+__all__ = [
+    "COLD",
+    "PatternFeatures",
+    "ReuseProfile",
+    "belady_faults",
+    "belady_miss_curve",
+    "extract_features",
+    "infer_pattern",
+    "lru_miss_curve",
+    "profile",
+    "reuse_distances",
+]

@@ -1,0 +1,125 @@
+"""Automatic access-pattern classification (the paper's Section III-A).
+
+The paper identifies six representative access patterns by inspecting
+application traces.  This module mechanises that inspection: given a
+page-touch trace, :func:`infer_pattern` returns the Fig. 2 pattern type
+it most resembles, using the features the paper's prose describes:
+
+* per-page episode counts (frequency);
+* whether the whole footprint is swept repeatedly (thrashing iterations);
+* whether references move through disjoint address regions monotonically
+  (region moving);
+* what fraction of pages is re-referenced (part vs most repetitive).
+
+The inference is heuristic by nature (so is the paper's taxonomy); the
+test suite pins it on the synthetic suite where ground truth is known.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workloads.base import PatternType
+
+
+@dataclass(frozen=True)
+class PatternFeatures:
+    """Trace features the classifier decides on."""
+
+    trace_length: int
+    footprint: int
+    #: Fraction of pages referenced more than once.
+    repeat_fraction: float
+    #: Mean episodes per page.
+    mean_episodes: float
+    #: Number of full-footprint sweeps detectable at the trace level.
+    sweep_count: int
+    #: Fraction of references that never revisit an earlier address
+    #: region once the trace has moved past it.
+    forward_motion: float
+
+
+def _sweep_count(trace: Sequence[int], footprint: int) -> int:
+    """How many times the trace covers (nearly) its whole footprint."""
+    threshold = max(1, int(footprint * 0.95))
+    seen: set[int] = set()
+    sweeps = 0
+    for page in trace:
+        seen.add(page)
+        if len(seen) >= threshold:
+            sweeps += 1
+            seen.clear()
+    return sweeps
+
+
+def _forward_motion(
+    trace: Sequence[int],
+    footprint: int,
+    bands: int = 8,
+    tolerance: int = 2,
+) -> float:
+    """Fraction of references in (or near) the current address band.
+
+    Region-moving workloads re-sweep their *active* region, so a small
+    backward tolerance (re-references within ``tolerance`` bands of the
+    high-water mark) still counts as forward motion; only jumps back to
+    long-left regions break it.
+    """
+    if not trace:
+        return 1.0
+    low = min(trace)
+    span = max(trace) - low + 1
+    band_size = max(1, span // bands)
+    highest_band = -1
+    forward = 0
+    for page in trace:
+        band = (page - low) // band_size
+        if band >= highest_band - tolerance:
+            forward += 1
+        highest_band = max(highest_band, band)
+    return forward / len(trace)
+
+
+def extract_features(trace: Sequence[int]) -> PatternFeatures:
+    """Compute the classification features for ``trace``."""
+    counts = Counter(trace)
+    footprint = len(counts)
+    repeated = sum(1 for count in counts.values() if count > 1)
+    return PatternFeatures(
+        trace_length=len(trace),
+        footprint=footprint,
+        repeat_fraction=repeated / footprint if footprint else 0.0,
+        mean_episodes=len(trace) / footprint if footprint else 0.0,
+        sweep_count=_sweep_count(trace, footprint),
+        forward_motion=_forward_motion(trace, footprint),
+    )
+
+
+def infer_pattern(trace: Sequence[int]) -> PatternType:
+    """Guess the Fig. 2 pattern type of ``trace``.
+
+    Decision order mirrors the taxonomy's structure: whole-footprint
+    repetition first (types II/V), then single-pass shapes (I/III/IV),
+    with region motion (VI) separated by the monotone-band feature.
+    """
+    features = extract_features(trace)
+    if features.footprint == 0:
+        raise ValueError("cannot classify an empty trace")
+    if features.sweep_count >= 2:
+        # The footprint is swept repeatedly: II if pages are uniform
+        # single-touch per sweep, V if sweeps have internal re-reference.
+        episodes_per_sweep = features.mean_episodes / features.sweep_count
+        if episodes_per_sweep <= 1.3:
+            return PatternType.THRASHING
+        return PatternType.REPETITIVE_THRASHING
+    if features.repeat_fraction <= 0.05:
+        return PatternType.STREAMING
+    if features.repeat_fraction >= 0.6:
+        # Most pages re-referenced: IV if references intersect globally,
+        # VI if the trace works region by region and never returns.
+        if features.forward_motion >= 0.98:
+            return PatternType.REGION_MOVING
+        return PatternType.MOST_REPETITIVE
+    return PatternType.PART_REPETITIVE

@@ -1,0 +1,192 @@
+"""Reuse-distance analysis and miss-ratio curves.
+
+Section III of the paper characterises workloads by when and how often
+pages are re-referenced; this module provides the standard machinery to
+do that quantitatively:
+
+* **Reuse distance** (a.k.a. LRU stack distance): the number of distinct
+  pages touched between two successive references to the same page.
+  Computed for a whole trace in O(n log n) with a Fenwick tree.
+* **LRU miss-ratio curve**: because LRU has the stack property, a single
+  stack-distance pass yields LRU's fault count for *every* capacity at
+  once — far cheaper than simulating each capacity.
+* **Belady miss curve**: exact MIN fault counts per capacity (one
+  simulation per capacity, using the engine-independent MIN loop).
+
+These are the tools behind the workload-design decisions documented in
+DESIGN.md (e.g. keeping re-references beyond the 512-page L2 TLB reach).
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Sequence
+
+#: Reuse distance reported for first-ever references.
+COLD = -1
+
+
+class _FenwickTree:
+    """Binary indexed tree over trace positions (prefix sums of 0/1)."""
+
+    def __init__(self, size: int) -> None:
+        self._tree = [0] * (size + 1)
+
+    def add(self, index: int, delta: int) -> None:
+        index += 1
+        while index < len(self._tree):
+            self._tree[index] += delta
+            index += index & -index
+
+    def prefix_sum(self, index: int) -> int:
+        """Sum of elements at positions [0, index]."""
+        index += 1
+        total = 0
+        while index > 0:
+            total += self._tree[index]
+            index -= index & -index
+        return total
+
+
+def reuse_distances(trace: Sequence[int]) -> list[int]:
+    """Per-reference LRU stack distances (:data:`COLD` for first touches).
+
+    The distance counts *distinct* pages referenced strictly between two
+    successive references to the same page.
+    """
+    tree = _FenwickTree(len(trace))
+    last_position: dict[int, int] = {}
+    distances: list[int] = []
+    for position, page in enumerate(trace):
+        previous = last_position.get(page)
+        if previous is None:
+            distances.append(COLD)
+        else:
+            # Distinct pages since `previous` = markers in (previous, position).
+            distance = tree.prefix_sum(position - 1) - tree.prefix_sum(previous)
+            distances.append(distance)
+            tree.add(previous, -1)
+        tree.add(position, 1)
+        last_position[page] = position
+    return distances
+
+
+@dataclass
+class ReuseProfile:
+    """Summary statistics of a trace's reuse behaviour."""
+
+    trace_length: int
+    footprint: int
+    cold_references: int
+    distances: list[int]
+
+    @property
+    def reuse_fraction(self) -> float:
+        """Fraction of references that re-reference a page."""
+        if not self.trace_length:
+            return 0.0
+        return 1.0 - self.cold_references / self.trace_length
+
+    @property
+    def mean_reuse_distance(self) -> float:
+        """Mean stack distance over re-references (0 when none)."""
+        warm = [d for d in self.distances if d != COLD]
+        if not warm:
+            return 0.0
+        return sum(warm) / len(warm)
+
+    def distance_histogram(self, bucket_bounds: Sequence[int]) -> dict[str, int]:
+        """Bucket warm re-reference distances by the given bounds."""
+        bounds = sorted(bucket_bounds)
+        labels = []
+        previous = 0
+        for bound in bounds:
+            labels.append(f"{previous}-{bound - 1}")
+            previous = bound
+        labels.append(f">={previous}")
+        counts = {label: 0 for label in labels}
+        for distance in self.distances:
+            if distance == COLD:
+                continue
+            slot = bisect_right(bounds, distance)
+            counts[labels[slot]] += 1
+        return counts
+
+
+def profile(trace: Sequence[int]) -> ReuseProfile:
+    """Compute a :class:`ReuseProfile` for ``trace``."""
+    distances = reuse_distances(trace)
+    return ReuseProfile(
+        trace_length=len(trace),
+        footprint=len(set(trace)),
+        cold_references=sum(1 for d in distances if d == COLD),
+        distances=distances,
+    )
+
+
+def lru_miss_curve(
+    trace: Sequence[int],
+    capacities: Sequence[int],
+) -> dict[int, int]:
+    """LRU fault counts for every capacity from one stack-distance pass.
+
+    Uses the stack property: an access with stack distance *d* misses in
+    an LRU memory of capacity *c* iff ``d >= c`` (cold misses always
+    miss).
+    """
+    distances = reuse_distances(trace)
+    cold = sum(1 for d in distances if d == COLD)
+    warm = sorted(d for d in distances if d != COLD)
+    curve: dict[int, int] = {}
+    for capacity in capacities:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        # Warm accesses with distance >= capacity miss.
+        first_hit = bisect_right(warm, capacity - 1)
+        curve[capacity] = cold + (len(warm) - first_hit)
+    return curve
+
+
+def belady_faults(trace: Sequence[int], capacity: int) -> int:
+    """Exact MIN fault count for one capacity (engine-independent)."""
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    occurrences: dict[int, list[int]] = {}
+    for index, page in enumerate(trace):
+        occurrences.setdefault(page, []).append(index)
+    resident: dict[int, float] = {}
+    heap: list[tuple[float, int]] = []
+    faults = 0
+
+    def next_use(page: int, position: int) -> float:
+        positions = occurrences[page]
+        index = bisect_right(positions, position)
+        return positions[index] if index < len(positions) else float("inf")
+
+    for position, page in enumerate(trace):
+        if page in resident:
+            key = next_use(page, position)
+            resident[page] = key
+            heapq.heappush(heap, (-key, page))
+            continue
+        faults += 1
+        if len(resident) >= capacity:
+            while heap:
+                neg_key, victim = heapq.heappop(heap)
+                if resident.get(victim) == -neg_key:
+                    del resident[victim]
+                    break
+        key = next_use(page, position)
+        resident[page] = key
+        heapq.heappush(heap, (-key, page))
+    return faults
+
+
+def belady_miss_curve(
+    trace: Sequence[int],
+    capacities: Sequence[int],
+) -> dict[int, int]:
+    """MIN fault counts for each capacity (one pass per capacity)."""
+    return {capacity: belady_faults(trace, capacity) for capacity in capacities}

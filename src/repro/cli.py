@@ -1,0 +1,248 @@
+"""Command-line interface: ``hpe-repro`` / ``python -m repro``.
+
+Subcommands
+-----------
+``list``
+    Show the 23 applications with their pattern types.
+``run``
+    Run one (application × policy × rate) simulation and print metrics.
+``figure``
+    Regenerate one of the paper's figures (3, 7-15).
+``table``
+    Regenerate one of the paper's tables (1-3).
+``sensitivity``
+    Run a Section V-A/B sensitivity study.
+``overhead``
+    Run a Section V-C overhead analysis.
+``ablation``
+    Run the design-choice ablations (DESIGN.md).
+``trace``
+    Dump an application's page-touch trace to a file.
+``analyze``
+    Reuse-distance / pattern analysis of an application or trace file.
+``all``
+    Regenerate everything (used to refresh EXPERIMENTS.md data).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.experiments.ablation import ablation
+from repro.experiments.figures import FIGURES
+from repro.experiments.overhead import OVERHEADS
+from repro.experiments.runner import POLICY_NAMES, run_application
+from repro.experiments.sensitivity import SENSITIVITIES
+from repro.experiments.tables import TABLES
+from repro.workloads.suite import all_applications, get_application
+from repro.workloads.trace_io import load_trace, save_trace
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--seed", type=int, default=7,
+                        help="trace generation seed (default 7)")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="footprint scale factor (default 1.0)")
+    parser.add_argument("--apps", type=str, default=None,
+                        help="comma-separated subset of applications")
+
+
+def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
+    if value is None:
+        return None
+    return [item.strip().upper() for item in value.split(",") if item.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="hpe-repro",
+        description="Reproduction harness for 'HPE: Hierarchical Page "
+                    "Eviction Policy for Unified Memory in GPUs'",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the evaluated applications")
+
+    run_p = sub.add_parser("run", help="run one simulation")
+    run_p.add_argument("--app", required=True, help="application abbreviation")
+    run_p.add_argument("--policy", default="hpe", choices=POLICY_NAMES)
+    run_p.add_argument("--rate", type=float, default=0.75,
+                       help="oversubscription rate (default 0.75)")
+    _add_common(run_p)
+
+    fig_p = sub.add_parser("figure", help="regenerate a paper figure")
+    fig_p.add_argument("id", choices=sorted(FIGURES, key=int),
+                       help="figure number")
+    _add_common(fig_p)
+
+    tab_p = sub.add_parser("table", help="regenerate a paper table")
+    tab_p.add_argument("id", choices=sorted(TABLES))
+    _add_common(tab_p)
+
+    sens_p = sub.add_parser("sensitivity", help="run a sensitivity study")
+    sens_p.add_argument("id", choices=sorted(SENSITIVITIES))
+    _add_common(sens_p)
+
+    ovh_p = sub.add_parser("overhead", help="run an overhead analysis")
+    ovh_p.add_argument("id", choices=sorted(OVERHEADS))
+    _add_common(ovh_p)
+
+    abl_p = sub.add_parser("ablation", help="run the design-choice ablations")
+    abl_p.add_argument("--rate", type=float, default=0.75)
+    abl_p.add_argument("--variants", type=str, default=None,
+                       help="comma-separated variant subset")
+    _add_common(abl_p)
+
+    trace_p = sub.add_parser("trace", help="dump an application trace")
+    trace_p.add_argument("--app", required=True)
+    trace_p.add_argument("--out", required=True, help="output path (.gz ok)")
+    _add_common(trace_p)
+
+    ana_p = sub.add_parser("analyze", help="analyse a trace or application")
+    group = ana_p.add_mutually_exclusive_group(required=True)
+    group.add_argument("--app", help="application abbreviation")
+    group.add_argument("--file", help="trace file written by `trace`")
+    ana_p.add_argument("--capacities", type=str, default=None,
+                       help="comma-separated capacities for miss curves")
+    _add_common(ana_p)
+
+    all_p = sub.add_parser("all", help="regenerate every table and figure")
+    _add_common(all_p)
+
+    return parser
+
+
+def _common_kwargs(args: argparse.Namespace) -> dict:
+    kwargs: dict = {"seed": args.seed, "scale": args.scale}
+    apps = _apps_arg(args.apps)
+    if apps is not None:
+        kwargs["apps"] = apps
+    return kwargs
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "list":
+        print(f"{'abbr':5s} {'type':4s} {'suite':10s} application")
+        for spec in all_applications():
+            print(f"{spec.abbr:5s} {spec.pattern_type.roman:4s} "
+                  f"{spec.suite:10s} {spec.name}")
+        return 0
+
+    if args.command == "run":
+        start = time.time()
+        result = run_application(
+            args.app, args.policy, args.rate,
+            seed=args.seed, scale=args.scale,
+        )
+        elapsed = time.time() - start
+        print(f"workload         : {result.workload_name}")
+        print(f"policy           : {result.policy_name}")
+        print(f"oversubscription : {result.oversubscription_rate:.0%}")
+        print(f"footprint        : {result.footprint_pages} pages")
+        print(f"capacity         : {result.capacity_pages} pages")
+        print(f"trace length     : {result.trace_length} episodes")
+        print(f"faults           : {result.faults} "
+              f"({result.driver.compulsory_faults} compulsory)")
+        print(f"evictions        : {result.evictions}")
+        print(f"cycles           : {result.cycles}")
+        print(f"IPC              : {result.ipc:.4f}")
+        print(f"(simulated in {elapsed:.2f}s)")
+        return 0
+
+    if args.command == "figure":
+        print(FIGURES[args.id](**_common_kwargs(args)).render())
+        return 0
+
+    if args.command == "table":
+        kwargs = _common_kwargs(args)
+        if args.id == "1":
+            kwargs = {}
+        print(TABLES[args.id](**kwargs).render())
+        return 0
+
+    if args.command == "sensitivity":
+        print(SENSITIVITIES[args.id](**_common_kwargs(args)).render())
+        return 0
+
+    if args.command == "overhead":
+        kwargs = _common_kwargs(args)
+        if args.id in ("classification", "search"):
+            kwargs = {}
+        print(OVERHEADS[args.id](**kwargs).render())
+        return 0
+
+    if args.command == "ablation":
+        kwargs = _common_kwargs(args)
+        kwargs["rate"] = args.rate
+        if args.variants:
+            kwargs["variants"] = [v.strip() for v in args.variants.split(",")]
+        print(ablation(**kwargs).render())
+        return 0
+
+    if args.command == "trace":
+        trace = get_application(args.app).build(seed=args.seed,
+                                                scale=args.scale)
+        save_trace(trace, args.out)
+        print(f"wrote {len(trace)} episodes ({trace.footprint_pages} pages) "
+              f"to {args.out}")
+        return 0
+
+    if args.command == "analyze":
+        from repro.analysis import infer_pattern, lru_miss_curve, profile
+        from repro.analysis.reuse import belady_miss_curve
+        if args.app:
+            trace = get_application(args.app).build(seed=args.seed,
+                                                    scale=args.scale)
+        else:
+            trace = load_trace(args.file)
+        reuse = profile(trace.pages)
+        guessed = infer_pattern(trace.pages)
+        print(f"trace            : {trace.name}")
+        print(f"episodes         : {reuse.trace_length}")
+        print(f"footprint        : {reuse.footprint} pages")
+        print(f"reuse fraction   : {reuse.reuse_fraction:.1%}")
+        print(f"mean reuse dist. : {reuse.mean_reuse_distance:.1f} pages")
+        print(f"declared pattern : {trace.pattern_type.roman}")
+        print(f"inferred pattern : {guessed.roman}")
+        histogram = reuse.distance_histogram([64, 512, 2048])
+        print("reuse-distance histogram (warm refs):")
+        for bucket, count in histogram.items():
+            print(f"  {bucket:>8s}: {count}")
+        if args.capacities:
+            capacities = [int(c) for c in args.capacities.split(",")]
+            lru = lru_miss_curve(trace.pages, capacities)
+            belady = belady_miss_curve(trace.pages, capacities)
+            print("miss curves (capacity: LRU faults / MIN faults):")
+            for capacity in capacities:
+                print(f"  {capacity:>8d}: {lru[capacity]} / "
+                      f"{belady[capacity]}")
+        return 0
+
+    if args.command == "all":
+        kwargs = _common_kwargs(args)
+        for table_id in sorted(TABLES):
+            table_kwargs = {} if table_id == "1" else kwargs
+            print(TABLES[table_id](**table_kwargs).render())
+            print()
+        for figure_id in sorted(FIGURES, key=int):
+            print(FIGURES[figure_id](**kwargs).render())
+            print()
+        for sens_id in sorted(SENSITIVITIES):
+            print(SENSITIVITIES[sens_id](**kwargs).render())
+            print()
+        for ovh_id in sorted(OVERHEADS):
+            ovh_kwargs = {} if ovh_id in ("classification", "search") else kwargs
+            print(OVERHEADS[ovh_id](**ovh_kwargs).render())
+            print()
+        return 0
+
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,155 @@
+"""The page set chain: three recency partitions over page-set entries.
+
+Fig. 5 of the paper: the chain is ordered from head (least recent) to tail
+(most recent) and split by two pointers into
+
+* **old** partition — page sets not referenced in the last or current
+  interval (head … P1);
+* **middle** partition — page sets referenced in the last interval
+  (P1 … P2);
+* **new** partition — page sets referenced in the current interval
+  (P2 … tail).
+
+We realise the pointers as three ordered dictionaries; advancing the
+interval (P1 ← P2, P2 ← tail) merges *middle* into *old* and renames *new*
+to *middle*.
+
+Update rules (Fig. 6 and its notes):
+
+* a touched entry in *old*/*middle* moves to the MRU position of *new*;
+* an entry already in *new* is **not** moved again this interval;
+* new entries are inserted at the MRU position of *new*;
+* a page set whose pages have all been evicted leaves the chain.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterator, Optional
+
+from repro.core.pageset import PageSetEntry, SetPart
+
+SetKey = tuple[int, SetPart]
+
+
+class PageSetChain:
+    """Three-partition recency chain over :class:`PageSetEntry` objects."""
+
+    def __init__(self, page_set_size: int) -> None:
+        if page_set_size <= 0:
+            raise ValueError(
+                f"page_set_size must be positive, got {page_set_size}"
+            )
+        self.page_set_size = page_set_size
+        self._old: OrderedDict[SetKey, PageSetEntry] = OrderedDict()
+        self._middle: OrderedDict[SetKey, PageSetEntry] = OrderedDict()
+        self._new: OrderedDict[SetKey, PageSetEntry] = OrderedDict()
+        #: Number of completed intervals (partition advances).
+        self.intervals = 0
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def get(self, key: SetKey) -> Optional[PageSetEntry]:
+        """Return the entry for ``key`` regardless of partition."""
+        for partition in (self._new, self._middle, self._old):
+            entry = partition.get(key)
+            if entry is not None:
+                return entry
+        return None
+
+    def __contains__(self, key: SetKey) -> bool:
+        return self.get(key) is not None
+
+    def __len__(self) -> int:
+        return len(self._old) + len(self._middle) + len(self._new)
+
+    @property
+    def old_size(self) -> int:
+        """Number of entries in the old partition."""
+        return len(self._old)
+
+    @property
+    def middle_size(self) -> int:
+        """Number of entries in the middle partition."""
+        return len(self._middle)
+
+    @property
+    def new_size(self) -> int:
+        """Number of entries in the new partition."""
+        return len(self._new)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def insert(self, entry: PageSetEntry) -> None:
+        """Insert a brand-new entry at the MRU position of *new*."""
+        key = entry.key
+        if key in self:
+            raise ValueError(f"entry {key} is already in the chain")
+        self._new[key] = entry
+
+    def promote(self, key: SetKey) -> PageSetEntry:
+        """Move a touched entry to the MRU position of *new*.
+
+        Entries already in *new* are left in place, implementing the
+        "only one movement per interval" rule.
+        """
+        if key in self._new:
+            return self._new[key]
+        for partition in (self._middle, self._old):
+            entry = partition.pop(key, None)
+            if entry is not None:
+                self._new[key] = entry
+                return entry
+        raise KeyError(f"entry {key} is not in the chain")
+
+    def remove(self, key: SetKey) -> PageSetEntry:
+        """Remove ``key`` from whichever partition holds it."""
+        for partition in (self._new, self._middle, self._old):
+            entry = partition.pop(key, None)
+            if entry is not None:
+                return entry
+        raise KeyError(f"entry {key} is not in the chain")
+
+    def advance_interval(self) -> None:
+        """Advance the partition pointers: P1 ← P2, P2 ← tail."""
+        self._old.update(self._middle)
+        self._middle = self._new
+        self._new = OrderedDict()
+        self.intervals += 1
+
+    # ------------------------------------------------------------------
+    # Iteration (for strategies and classification)
+    # ------------------------------------------------------------------
+
+    def iter_old_mru_first(self) -> Iterator[PageSetEntry]:
+        """Old-partition entries from the MRU end toward the head."""
+        for key in reversed(self._old):
+            yield self._old[key]
+
+    def iter_old_lru_first(self) -> Iterator[PageSetEntry]:
+        """Old-partition entries from the head (LRU end) toward P1."""
+        return iter(self._old.values())
+
+    def iter_lru_order(self) -> Iterator[PageSetEntry]:
+        """All entries, least recent first: old, then middle, then new."""
+        for partition in (self._old, self._middle, self._new):
+            yield from partition.values()
+
+    def iter_entries(self) -> Iterator[PageSetEntry]:
+        """All entries in chain order (same as :meth:`iter_lru_order`)."""
+        return self.iter_lru_order()
+
+    def lru_entry(self) -> Optional[PageSetEntry]:
+        """The least-recent entry, honouring old → middle → new priority."""
+        for partition in (self._old, self._middle, self._new):
+            for entry in partition.values():
+                return entry
+        return None
+
+    def counters(self) -> list[int]:
+        """Every entry's saturating counter (for classification)."""
+        return [entry.counter for entry in self.iter_entries()]

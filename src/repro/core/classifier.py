@@ -1,0 +1,129 @@
+"""Statistics-based application classification (Section IV-D, Table III).
+
+When GPU memory fills to capacity for the first time, HPE traverses the
+page set chain, buckets each entry's saturating counter, and computes two
+ratios:
+
+* ``ratio1`` — page sets with an *irregular* counter (indivisible by the
+  page-set size) over page sets with a *regular* counter;
+* ``ratio2`` — page sets with a *large and regular* counter (3× or 4× the
+  page-set size) over page sets with a *small and regular* counter (1× or
+  2× the page-set size).
+
+Table III then maps the ratios to a category:
+
+==============  ===================  ============
+category        ratio1               ratio2
+==============  ===================  ============
+regular         ≤ threshold (0.3)    < 2
+irregular#1     ≤ threshold          ≥ 2
+irregular#2     > threshold          (any)
+==============  ===================  ============
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+#: Paper default classification threshold for ratio1 (Section V-A).
+DEFAULT_RATIO1_THRESHOLD = 0.3
+
+#: Paper threshold separating regular from irregular#1 via ratio2.
+RATIO2_THRESHOLD = 2.0
+
+
+class Category(enum.Enum):
+    """The three application categories of Table III."""
+
+    REGULAR = "regular"
+    IRREGULAR_1 = "irregular#1"
+    IRREGULAR_2 = "irregular#2"
+
+
+@dataclass(frozen=True)
+class CounterCensus:
+    """Bucketed page-set counters at classification time."""
+
+    regular: int
+    irregular: int
+    small_regular: int
+    large_regular: int
+
+    @property
+    def total(self) -> int:
+        """Total page sets inspected."""
+        return self.regular + self.irregular
+
+    @property
+    def ratio1(self) -> float:
+        """irregular / regular (``inf`` when nothing is regular)."""
+        if not self.regular:
+            return math.inf if self.irregular else 0.0
+        return self.irregular / self.regular
+
+    @property
+    def ratio2(self) -> float:
+        """large&regular / small&regular (``inf`` when none are small)."""
+        if not self.small_regular:
+            return math.inf if self.large_regular else 0.0
+        return self.large_regular / self.small_regular
+
+
+@dataclass(frozen=True)
+class Classification:
+    """Outcome of one classification pass."""
+
+    category: Category
+    census: CounterCensus
+    #: Number of counters traversed (for the overhead analysis, §V-C).
+    comparisons: int
+
+
+def census_counters(counters: Iterable[int], page_set_size: int) -> CounterCensus:
+    """Bucket ``counters`` into the four counter types of Section IV-D."""
+    if page_set_size <= 0:
+        raise ValueError(f"page_set_size must be positive, got {page_set_size}")
+    regular = irregular = small = large = 0
+    small_values = (page_set_size, 2 * page_set_size)
+    large_values = (3 * page_set_size, 4 * page_set_size)
+    for counter in counters:
+        if counter <= 0:
+            continue
+        if counter % page_set_size:
+            irregular += 1
+        else:
+            regular += 1
+            if counter in small_values:
+                small += 1
+            elif counter in large_values:
+                large += 1
+    return CounterCensus(
+        regular=regular,
+        irregular=irregular,
+        small_regular=small,
+        large_regular=large,
+    )
+
+
+def classify(
+    counters: Iterable[int],
+    page_set_size: int,
+    ratio1_threshold: float = DEFAULT_RATIO1_THRESHOLD,
+) -> Classification:
+    """Classify an application from its page-set counters (Table III)."""
+    counters = list(counters)
+    census = census_counters(counters, page_set_size)
+    if census.ratio1 > ratio1_threshold:
+        category = Category.IRREGULAR_2
+    elif census.ratio2 >= RATIO2_THRESHOLD:
+        category = Category.IRREGULAR_1
+    else:
+        category = Category.REGULAR
+    return Classification(
+        category=category,
+        census=census,
+        comparisons=len(counters),
+    )

@@ -1,0 +1,326 @@
+"""HPE — the hierarchical page eviction policy (Section IV).
+
+This module assembles the paper's pieces into one
+:class:`repro.policies.base.EvictionPolicy`:
+
+* page-walk hits are recorded GPU-side in the :class:`~repro.core.hir.HIRCache`
+  and ingested into the driver-side page set chain every
+  ``transfer_interval``-th page fault (16 by default);
+* page faults update the chain immediately (set the bit vector, bump the
+  saturating counter, move the set to the MRU end of the *new* partition);
+* every ``interval_length`` faults (64) the chain partitions advance;
+* when GPU memory first fills, the chain's counters classify the
+  application (Table III) and fix the starting strategy;
+* victims are chosen page-set-first (MRU-C or LRU over the old
+  partition), then page-by-page in address order;
+* wrong evictions drive the dynamic adjustment of Algorithm 1.
+
+Setting ``use_hir=False`` reproduces the paper's "ideal model where page
+walk hit information is transferred to the GPU driver directly without
+using HIR" (used in the Section V-A sensitivity studies).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.adjustment import DynamicAdjustment
+from repro.core.chain import PageSetChain
+from repro.core.classifier import (
+    DEFAULT_RATIO1_THRESHOLD,
+    Category,
+    Classification,
+    classify,
+)
+from repro.core.hir import HIRCache
+from repro.core.history import HistoryBuffer
+from repro.core.pageset import (
+    PageSetEntry,
+    SetPart,
+    primary_key,
+    secondary_key,
+)
+from repro.core.strategies import SearchResult, StrategyKind, select
+from repro.memory.addressing import PageSetGeometry
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+@dataclass(frozen=True)
+class HPEConfig:
+    """All tunables of HPE, defaulting to the paper's chosen values."""
+
+    page_set_size: int = 16
+    interval_length: int = 64
+    transfer_interval: int = 16
+    ratio1_threshold: float = DEFAULT_RATIO1_THRESHOLD
+    fifo_depth: int = 128
+    jump_distance: int = 16
+    hir_entries: int = 1024
+    hir_associativity: int = 8
+    #: ``False`` → the ideal hit-information model of Section V-A.
+    use_hir: bool = True
+    enable_adjustment: bool = True
+    enable_division: bool = True
+    #: Counter value at which a partially-populated set divides.  The
+    #: paper divides at saturation (64) and notes that "if more page sets
+    #: are divided by relaxing the division requirement, the performance
+    #: of NW can be improved" — lower this to relax the requirement.
+    division_threshold: int = 64
+    allow_irregular1_switch: bool = True
+    #: Override the classified category (sensitivity experiments).
+    forced_category: Optional[Category] = None
+    #: Pin the strategy, disabling classification-driven choice.
+    forced_strategy: Optional[StrategyKind] = None
+
+    def __post_init__(self) -> None:
+        if self.page_set_size <= 0:
+            raise ValueError("page_set_size must be positive")
+        if self.interval_length <= 0:
+            raise ValueError("interval_length must be positive")
+        if self.transfer_interval <= 0:
+            raise ValueError("transfer_interval must be positive")
+        if self.fifo_depth <= 0:
+            raise ValueError("fifo_depth must be positive")
+        if self.division_threshold <= 0:
+            raise ValueError("division_threshold must be positive")
+
+
+@dataclass
+class HPEStats:
+    """Observable internals used by the Section V evaluation."""
+
+    faults: int = 0
+    searches: int = 0
+    comparisons_total: int = 0
+    comparisons_max: int = 0
+    divisions: int = 0
+    hir_transfers: int = 0
+    hir_bytes_transferred: int = 0
+
+    @property
+    def mean_comparisons(self) -> float:
+        """Average comparisons per victim search (Fig. 14)."""
+        if not self.searches:
+            return 0.0
+        return self.comparisons_total / self.searches
+
+
+class HPEPolicy(EvictionPolicy):
+    """Hierarchical page eviction, faithful to Section IV."""
+
+    name = "hpe"
+    uses_walk_hits = True
+
+    def __init__(self, config: HPEConfig = HPEConfig()) -> None:
+        self.config = config
+        self.geometry = PageSetGeometry(config.page_set_size)
+        self.chain = PageSetChain(config.page_set_size)
+        self.hir = HIRCache(
+            self.geometry,
+            entries=config.hir_entries,
+            associativity=config.hir_associativity,
+        )
+        self.history = HistoryBuffer()
+        self.classification: Optional[Classification] = None
+        self.adjustment: Optional[DynamicAdjustment] = None
+        self.stats = HPEStats()
+        self._full_mask = (1 << config.page_set_size) - 1
+        self._resident_pages = 0
+        self._pending_transfer_bytes = 0
+
+    # ------------------------------------------------------------------
+    # Routing (Fig. 6 steps 1–4)
+    # ------------------------------------------------------------------
+
+    def _route(self, tag: int, offset: int) -> tuple[tuple[int, SetPart], int, bool]:
+        """Return ``(chain key, member mask for creation, divided flag)``.
+
+        Consults the history buffer first (the page set was previously
+        evicted), then any live divided primary, defaulting to the
+        undivided primary.
+        """
+        hist = self.history.primary_mask(tag)
+        if hist is not None:
+            if (hist >> offset) & 1:
+                return primary_key(tag), hist, True
+            return secondary_key(tag), self._full_mask & ~hist, True
+        live = self.chain.get(primary_key(tag))
+        if (
+            live is not None
+            and live.divided
+            and not (live.member_mask >> offset) & 1
+        ):
+            return secondary_key(tag), self._full_mask & ~live.member_mask, True
+        return primary_key(tag), self._full_mask, False
+
+    def _get_or_create(
+        self, key: tuple[int, SetPart], member_mask: int, divided: bool
+    ) -> PageSetEntry:
+        entry = self.chain.get(key)
+        if entry is not None:
+            return entry
+        entry = PageSetEntry(
+            tag=key[0],
+            page_set_size=self.config.page_set_size,
+            part=key[1],
+            member_mask=member_mask,
+            divided=divided and key[1] is SetPart.PRIMARY,
+        )
+        self.chain.insert(entry)
+        return entry
+
+    def _maybe_divide(self, entry: PageSetEntry) -> None:
+        if not self.config.enable_division:
+            return
+        if entry.part is SetPart.SECONDARY or entry.divided:
+            return
+        if (
+            entry.counter >= self.config.division_threshold
+            and not entry.fully_populated
+        ):
+            if not entry.bit_vector:
+                return  # nothing faulted yet; nothing to keep as primary
+            entry.member_mask = entry.bit_vector
+            entry.divided = True
+            self.stats.divisions += 1
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    def on_walk_hit(self, page: int) -> None:
+        if self.config.use_hir:
+            self.hir.record_hit(page)
+            return
+        tag, offset = self.geometry.split(page)
+        self._apply_hit_touch(tag, offset, 1)
+
+    def _apply_hit_touch(self, tag: int, offset: int, count: int) -> None:
+        key, _mask, _divided = self._route(tag, offset)
+        entry = self.chain.get(key)
+        if entry is None:
+            # Stale information: the set was fully evicted between the hit
+            # being recorded and the transfer arriving.  Drop it.
+            return
+        entry.touch(count)
+        self.chain.promote(key)
+        self._maybe_divide(entry)
+
+    def _ingest_hir(self) -> None:
+        payload = self.hir.transfer()
+        self.stats.hir_transfers += 1
+        bytes_moved = self.hir.transfer_bytes(len(payload))
+        self.stats.hir_bytes_transferred += bytes_moved
+        self._pending_transfer_bytes += bytes_moved
+        for tag, counters in payload:
+            for offset, count in enumerate(counters):
+                if count:
+                    self._apply_hit_touch(tag, offset, count)
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        self.stats.faults += 1
+        if self.adjustment is not None:
+            self.adjustment.on_fault(page)
+        if self.config.use_hir and self.stats.faults % self.config.transfer_interval == 0:
+            self._ingest_hir()
+        tag, offset = self.geometry.split(page)
+        key, member_mask, divided = self._route(tag, offset)
+        entry = self._get_or_create(key, member_mask, divided)
+        entry.touch(1)
+        entry.mark_faulted(offset)
+        entry.mark_resident(offset)
+        self._resident_pages += 1
+        self.chain.promote(key)
+        self._maybe_divide(entry)
+        if self.stats.faults % self.config.interval_length == 0:
+            self.chain.advance_interval()
+            if self.adjustment is not None:
+                self.adjustment.on_interval_end()
+
+    # ------------------------------------------------------------------
+    # Classification (lazy: runs when memory is first full)
+    # ------------------------------------------------------------------
+
+    def _classify_now(self) -> None:
+        classification = classify(
+            self.chain.counters(),
+            self.config.page_set_size,
+            self.config.ratio1_threshold,
+        )
+        if self.config.forced_category is not None:
+            classification = Classification(
+                category=self.config.forced_category,
+                census=classification.census,
+                comparisons=classification.comparisons,
+            )
+        self.classification = classification
+        self.adjustment = DynamicAdjustment(
+            category=classification.category,
+            page_set_size=self.config.page_set_size,
+            fifo_depth=self.config.fifo_depth,
+            jump_distance=self.config.jump_distance,
+            old_sets_at_first_full=self.chain.old_size,
+            allow_irregular1_switch=self.config.allow_irregular1_switch,
+            enabled=self.config.enable_adjustment,
+        )
+
+    @property
+    def category(self) -> Optional[Category]:
+        """The classified category, or ``None`` before memory first fills."""
+        if self.classification is None:
+            return None
+        return self.classification.category
+
+    # ------------------------------------------------------------------
+    # Victim selection
+    # ------------------------------------------------------------------
+
+    def _current_strategy(self) -> StrategyKind:
+        if self.config.forced_strategy is not None:
+            return self.config.forced_strategy
+        assert self.adjustment is not None
+        return self.adjustment.strategy
+
+    def select_victim(self) -> int:
+        if self.classification is None:
+            self._classify_now()
+        strategy = self._current_strategy()
+        jump = 0
+        if strategy is StrategyKind.MRU_C and self.adjustment is not None:
+            jump = self.adjustment.jump
+        result: SearchResult = select(
+            strategy, self.chain, self.config.page_set_size, jump
+        )
+        if result.entry is None:
+            raise PolicyError("HPE chain is empty; nothing to evict")
+        self.stats.searches += 1
+        self.stats.comparisons_total += result.comparisons
+        self.stats.comparisons_max = max(
+            self.stats.comparisons_max, result.comparisons
+        )
+        entry = result.entry
+        offset = entry.lowest_resident_offset()
+        page = self.geometry.first_page_of(entry.tag) + offset
+        entry.mark_evicted(offset)
+        self._resident_pages -= 1
+        if entry.resident_count == 0:
+            self.chain.remove(entry.key)
+            if entry.divided and entry.part is SetPart.PRIMARY:
+                self.history.record(entry.tag, entry.member_mask)
+        if self.adjustment is not None:
+            self.adjustment.on_eviction(page)
+        return page
+
+    # ------------------------------------------------------------------
+    # Timing hooks
+    # ------------------------------------------------------------------
+
+    def consume_transfer_bytes(self) -> int:
+        """Bytes of HIR payload shipped since the last call (for PCIe cost)."""
+        taken = self._pending_transfer_bytes
+        self._pending_transfer_bytes = 0
+        return taken
+
+    def resident_count(self) -> int:
+        return self._resident_pages

@@ -1,0 +1,90 @@
+"""Eviction strategies over the page set chain (Section IV-D).
+
+Two strategies select the *page set* to evict from:
+
+* **MRU-C** (MRU-counter based) — used for *regular* applications.
+  Searches from the MRU position of the **old** partition for a page set
+  whose counter equals the page-set size (a fully-populated,
+  never-re-referenced set); if every counter is larger, it takes the
+  minimum-counter (least frequently used) set.  Dynamic adjustment may
+  move the search start point forward (toward the LRU end) by a fixed
+  jump distance to pick "colder" sets.
+* **LRU** — used for *irregular* applications: take the chain's least
+  recent entry (old partition head; middle, then new when old is empty).
+
+Both strategies only pick sets with at least one resident page (a chain
+invariant removes fully-evicted sets, so every entry qualifies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.chain import PageSetChain
+from repro.core.pageset import PageSetEntry
+
+
+class StrategyKind(enum.Enum):
+    """The two page-set selection strategies HPE alternates between."""
+
+    LRU = "lru"
+    MRU_C = "mru-c"
+
+
+@dataclass
+class SearchResult:
+    """Outcome of one page-set selection."""
+
+    entry: Optional[PageSetEntry]
+    #: Number of chain entries examined (Fig. 14's search overhead).
+    comparisons: int
+
+
+def select_lru(chain: PageSetChain) -> SearchResult:
+    """Pick the least-recent page set (old → middle → new priority)."""
+    entry = chain.lru_entry()
+    return SearchResult(entry=entry, comparisons=1 if entry else 0)
+
+
+def select_mru_c(
+    chain: PageSetChain,
+    page_set_size: int,
+    jump: int = 0,
+) -> SearchResult:
+    """MRU-C over the **old** partition, starting ``jump`` sets in.
+
+    Falls back to the least-recent entry of the middle/new partitions when
+    the old partition is empty (the paper: "If the old partition becomes
+    empty, LRU is used to select eviction candidates in the middle
+    partition or new partition").
+    """
+    if chain.old_size == 0:
+        return select_lru(chain)
+    # A jump past the end of the partition saturates at the LRU end
+    # rather than wrapping back to the (hot) MRU end.
+    effective_jump = min(jump, chain.old_size - 1)
+    comparisons = 0
+    best: Optional[PageSetEntry] = None
+    for index, entry in enumerate(chain.iter_old_mru_first()):
+        if index < effective_jump:
+            continue
+        comparisons += 1
+        if entry.counter == page_set_size:
+            return SearchResult(entry=entry, comparisons=comparisons)
+        if best is None or entry.counter < best.counter:
+            best = entry
+    return SearchResult(entry=best, comparisons=comparisons)
+
+
+def select(
+    kind: StrategyKind,
+    chain: PageSetChain,
+    page_set_size: int,
+    jump: int = 0,
+) -> SearchResult:
+    """Dispatch to the requested strategy."""
+    if kind is StrategyKind.MRU_C:
+        return select_mru_c(chain, page_set_size, jump)
+    return select_lru(chain)

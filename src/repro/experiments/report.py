@@ -1,0 +1,63 @@
+"""Plain-text table formatting shared by every experiment harness.
+
+Each harness returns structured rows; these helpers render them the way
+the paper's figures would read as text (one row per application, means at
+the bottom), so benchmark logs and EXPERIMENTS.md stay legible.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a fixed-width text table."""
+    rendered: list[list[str]] = []
+    for row in rows:
+        cells = []
+        for value in row:
+            if isinstance(value, float):
+                cells.append(float_format.format(value))
+            else:
+                cells.append(str(value))
+        rendered.append(cells)
+    widths = [len(h) for h in headers]
+    for cells in rendered:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for cells in rendered:
+        lines.append(
+            "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+        )
+    return "\n".join(lines)
+
+
+def format_markdown_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_format: str = "{:.2f}",
+) -> str:
+    """Render a GitHub-flavoured markdown table (for EXPERIMENTS.md)."""
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            return float_format.format(value)
+        return str(value)
+
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in rows:
+        lines.append("| " + " | ".join(render(v) for v in row) + " |")
+    return "\n".join(lines)

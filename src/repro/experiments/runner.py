@@ -1,0 +1,213 @@
+"""Generic (application × policy × oversubscription) experiment engine.
+
+Every figure/table harness is a thin layer over :func:`run_application`
+and :class:`ResultMatrix`.  Policies are constructed per run by name; RRIP
+receives the paper's per-pattern configuration (distant insertion and a
+128-fault delay threshold for type II applications, long insertion and no
+threshold otherwise — Section V-B), and CLOCK-Pro is sized to the run's
+capacity with the paper's fixed ``m_c = 128``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable, Optional, Sequence
+
+from repro.core.hpe import HPEConfig, HPEPolicy
+from repro.policies import (
+    ARCPolicy,
+    CARPolicy,
+    ClockProPolicy,
+    EvictionPolicy,
+    FIFOPolicy,
+    IdealPolicy,
+    LFUPolicy,
+    LRUPolicy,
+    RandomPolicy,
+    RRIPConfig,
+    RRIPPolicy,
+    WSClockPolicy,
+)
+from repro.sim.config import GPUConfig
+from repro.sim.engine import UVMSimulator
+from repro.sim.results import SimulationResult
+from repro.workloads.base import Trace
+from repro.workloads.suite import APPLICATION_ORDER, ApplicationSpec, get_application
+
+#: Policy names accepted by :func:`make_policy`, in report order.
+POLICY_NAMES = (
+    "ideal", "lru", "random", "rrip", "clock-pro", "hpe",
+    "fifo", "lfu", "arc", "car", "wsclock",
+)
+
+#: The two oversubscription rates the paper evaluates (Section V).
+PAPER_RATES = (0.75, 0.50)
+
+#: Default RNG seed for trace generation (fixed for reproducibility).
+DEFAULT_SEED = 7
+
+
+def make_policy(
+    name: str,
+    capacity: int,
+    spec: Optional[ApplicationSpec] = None,
+    hpe_config: Optional[HPEConfig] = None,
+    seed: int = DEFAULT_SEED,
+) -> EvictionPolicy:
+    """Construct a fresh policy instance for one run."""
+    name = name.lower()
+    if name == "lru":
+        return LRUPolicy()
+    if name == "random":
+        return RandomPolicy(seed=seed)
+    if name == "rrip":
+        thrashing = spec.is_thrashing_type if spec is not None else False
+        return RRIPPolicy(RRIPConfig.for_pattern(thrashing))
+    if name == "clock-pro":
+        return ClockProPolicy(capacity=capacity)
+    if name == "ideal":
+        return IdealPolicy()
+    if name == "hpe":
+        return HPEPolicy(hpe_config or HPEConfig())
+    if name == "fifo":
+        return FIFOPolicy()
+    if name == "lfu":
+        return LFUPolicy()
+    if name == "arc":
+        return ARCPolicy(capacity=capacity)
+    if name == "car":
+        return CARPolicy(capacity=capacity)
+    if name == "wsclock":
+        return WSClockPolicy()
+    raise ValueError(f"unknown policy {name!r}; known: {', '.join(POLICY_NAMES)}")
+
+
+@dataclass(frozen=True)
+class RunKey:
+    """Identity of one simulation run."""
+
+    app: str
+    policy: str
+    rate: float
+
+
+class TraceCache:
+    """Builds and memoises application traces per (abbr, seed, scale)."""
+
+    def __init__(self) -> None:
+        self._cache: dict[tuple[str, int, float], Trace] = {}
+
+    def get(self, abbr: str, seed: int = DEFAULT_SEED, scale: float = 1.0) -> Trace:
+        key = (abbr.upper(), seed, scale)
+        if key not in self._cache:
+            self._cache[key] = get_application(abbr).build(seed=seed, scale=scale)
+        return self._cache[key]
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+
+#: Module-level cache shared by all harnesses in one process.
+_TRACES = TraceCache()
+
+
+def run_application(
+    app: str,
+    policy: str,
+    rate: float,
+    *,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    hpe_config: Optional[HPEConfig] = None,
+) -> SimulationResult:
+    """Run one (application, policy, oversubscription-rate) simulation."""
+    spec = get_application(app)
+    trace = _TRACES.get(app, seed, scale)
+    capacity = trace.capacity_for(rate)
+    policy_obj = make_policy(
+        policy, capacity, spec=spec, hpe_config=hpe_config, seed=seed
+    )
+    simulator = UVMSimulator(policy_obj, capacity, config)
+    result = simulator.run(trace.pages, workload_name=spec.abbr)
+    result.extras["policy"] = policy_obj
+    result.extras["pattern_type"] = spec.pattern_type
+    result.extras["rate"] = rate
+    return result
+
+
+@dataclass
+class ResultMatrix:
+    """Results keyed by (app, policy, rate) with derived-metric helpers."""
+
+    results: dict[RunKey, SimulationResult] = field(default_factory=dict)
+
+    def put(self, key: RunKey, result: SimulationResult) -> None:
+        self.results[key] = result
+
+    def get(self, app: str, policy: str, rate: float) -> SimulationResult:
+        return self.results[RunKey(app.upper(), policy, rate)]
+
+    def speedup(self, app: str, policy: str, baseline: str, rate: float) -> float:
+        """IPC of ``policy`` over ``baseline`` for one app and rate."""
+        return self.get(app, policy, rate).speedup_over(
+            self.get(app, baseline, rate)
+        )
+
+    def eviction_ratio(self, app: str, policy: str, baseline: str, rate: float) -> float:
+        """Evictions of ``policy`` relative to ``baseline``."""
+        return self.get(app, policy, rate).evictions_normalized_to(
+            self.get(app, baseline, rate)
+        )
+
+    def apps(self) -> list[str]:
+        seen: list[str] = []
+        for key in self.results:
+            if key.app not in seen:
+                seen.append(key.app)
+        return seen
+
+
+def run_matrix(
+    policies: Sequence[str],
+    rates: Sequence[float] = PAPER_RATES,
+    apps: Optional[Sequence[str]] = None,
+    *,
+    seed: int = DEFAULT_SEED,
+    scale: float = 1.0,
+    config: Optional[GPUConfig] = None,
+    hpe_config: Optional[HPEConfig] = None,
+    progress: bool = False,
+) -> ResultMatrix:
+    """Run the cartesian product and collect a :class:`ResultMatrix`."""
+    apps = list(apps) if apps is not None else list(APPLICATION_ORDER)
+    matrix = ResultMatrix()
+    for rate in rates:
+        for app in apps:
+            for policy in policies:
+                if progress:
+                    print(f"running {app} / {policy} @ {rate:.0%} ...", flush=True)
+                result = run_application(
+                    app, policy, rate,
+                    seed=seed, scale=scale,
+                    config=config, hpe_config=hpe_config,
+                )
+                matrix.put(RunKey(app.upper(), policy, rate), result)
+    return matrix
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, ignoring non-positive values defensively."""
+    logs = [math.log(v) for v in values if v > 0]
+    if not logs:
+        return 0.0
+    return math.exp(sum(logs) / len(logs))
+
+
+def arithmetic_mean(values: Iterable[float]) -> float:
+    """Plain mean (the paper reports arithmetic averages)."""
+    values = list(values)
+    if not values:
+        return 0.0
+    return sum(values) / len(values)

@@ -1,0 +1,27 @@
+"""Memory substrate: address math, physical frames, and the page table."""
+
+from repro.memory.addressing import (
+    DEFAULT_PAGE_SET_SIZE,
+    PAGE_SIZE_BYTES,
+    AddressRegion,
+    PageSetGeometry,
+    is_power_of_two,
+    page_of_address,
+    pages_for_bytes,
+)
+from repro.memory.frames import CapacityError, FramePool
+from repro.memory.page_table import PageTable, PageTableEntry
+
+__all__ = [
+    "AddressRegion",
+    "CapacityError",
+    "DEFAULT_PAGE_SET_SIZE",
+    "FramePool",
+    "PAGE_SIZE_BYTES",
+    "PageSetGeometry",
+    "PageTable",
+    "PageTableEntry",
+    "is_power_of_two",
+    "page_of_address",
+    "pages_for_bytes",
+]

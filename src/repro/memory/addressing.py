@@ -1,0 +1,136 @@
+"""Virtual-address arithmetic shared by the whole simulator.
+
+The paper works at three granularities:
+
+* **page** — a 4 KB OS page, the unit of migration and eviction;
+* **page set** — a group of ``page_set_size`` virtually-contiguous pages
+  (16 by default, like a Pascal "chunk"), the unit HPE's chain manages;
+* **offset** — a page's index inside its page set.
+
+Throughout the library a *page number* is the virtual address right-shifted
+by the page-size bits, i.e. consecutive integers denote consecutive 4 KB
+pages.  A *page-set tag* is the page number right-shifted by
+``log2(page_set_size)`` bits, exactly as Section IV-C of the paper computes
+it ("the tag is calculated by shifting the page address right by 4 bits").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Default OS page size in bytes (Section III: "We choose 4-KB OS pages").
+PAGE_SIZE_BYTES = 4096
+
+#: Default number of pages per page set (Section V-A sensitivity study).
+DEFAULT_PAGE_SET_SIZE = 16
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return ``True`` when ``value`` is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class PageSetGeometry:
+    """Immutable helper mapping pages to page sets and offsets.
+
+    Parameters
+    ----------
+    page_set_size:
+        Number of consecutive pages per page set.  Must be a power of two
+        so tags can be computed with shifts, mirroring the paper's
+        "simplifying calculation" assumption.
+    """
+
+    page_set_size: int = DEFAULT_PAGE_SET_SIZE
+
+    def __post_init__(self) -> None:
+        if not is_power_of_two(self.page_set_size):
+            raise ValueError(
+                f"page_set_size must be a power of two, got {self.page_set_size}"
+            )
+
+    @property
+    def shift(self) -> int:
+        """Number of bits to shift a page number right to obtain its tag."""
+        return self.page_set_size.bit_length() - 1
+
+    @property
+    def offset_mask(self) -> int:
+        """Bit mask extracting a page's offset inside its page set."""
+        return self.page_set_size - 1
+
+    def tag_of(self, page: int) -> int:
+        """Return the page-set tag that ``page`` belongs to."""
+        return page >> self.shift
+
+    def offset_of(self, page: int) -> int:
+        """Return ``page``'s index inside its page set."""
+        return page & self.offset_mask
+
+    def split(self, page: int) -> tuple[int, int]:
+        """Return ``(tag, offset)`` for ``page`` in one call."""
+        return page >> self.shift, page & self.offset_mask
+
+    def first_page_of(self, tag: int) -> int:
+        """Return the lowest page number contained in page set ``tag``."""
+        return tag << self.shift
+
+    def pages_of(self, tag: int) -> range:
+        """Return the range of page numbers covered by page set ``tag``."""
+        first = tag << self.shift
+        return range(first, first + self.page_set_size)
+
+
+def page_of_address(address: int, page_size: int = PAGE_SIZE_BYTES) -> int:
+    """Convert a byte address into a page number."""
+    if address < 0:
+        raise ValueError(f"address must be non-negative, got {address}")
+    if not is_power_of_two(page_size):
+        raise ValueError(f"page_size must be a power of two, got {page_size}")
+    return address >> (page_size.bit_length() - 1)
+
+
+def pages_for_bytes(num_bytes: int, page_size: int = PAGE_SIZE_BYTES) -> int:
+    """Return how many pages are needed to hold ``num_bytes``."""
+    if num_bytes < 0:
+        raise ValueError(f"num_bytes must be non-negative, got {num_bytes}")
+    return -(-num_bytes // page_size)
+
+
+@dataclass(frozen=True)
+class AddressRegion:
+    """A half-open range of page numbers ``[start, stop)``.
+
+    Used by workload generators to carve an application footprint into the
+    address regions of the paper's type VI ("region moving") pattern.
+    """
+
+    start: int
+    stop: int
+
+    def __post_init__(self) -> None:
+        if self.start < 0 or self.stop < self.start:
+            raise ValueError(f"invalid region [{self.start}, {self.stop})")
+
+    def __len__(self) -> int:
+        return self.stop - self.start
+
+    def __contains__(self, page: int) -> bool:
+        return self.start <= page < self.stop
+
+    def pages(self) -> range:
+        """Return the range of page numbers in the region."""
+        return range(self.start, self.stop)
+
+    def split(self, parts: int) -> list["AddressRegion"]:
+        """Split the region into ``parts`` near-equal contiguous regions."""
+        if parts <= 0:
+            raise ValueError(f"parts must be positive, got {parts}")
+        size = len(self)
+        bounds = [self.start + (size * i) // parts for i in range(parts + 1)]
+        return [
+            AddressRegion(bounds[i], bounds[i + 1])
+            for i in range(parts)
+            if bounds[i + 1] > bounds[i]
+        ]

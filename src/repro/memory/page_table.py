@@ -1,0 +1,71 @@
+"""Single-level GPU page table.
+
+The paper simplifies simulation with "a single-level page table and a fixed
+page walk latency (eight cycles)".  We mirror that: the table maps virtual
+page numbers to physical frames with a valid bit, and the walker charges a
+fixed latency per walk (see :mod:`repro.tlb.walker`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass
+class PageTableEntry:
+    """A PTE: frame number plus bookkeeping bits."""
+
+    frame: int
+    valid: bool = True
+    #: Global fault sequence number when the page was (last) migrated in.
+    faulted_at: int = 0
+    #: Number of page-walk lookups that hit this PTE since migration.
+    walk_hits: int = 0
+
+
+class PageTable:
+    """Virtual-page → PTE mapping with valid-bit semantics.
+
+    Invalidation keeps the entry around (marked invalid) so re-migration can
+    observe prior history; :meth:`lookup` only returns valid entries.
+    """
+
+    def __init__(self) -> None:
+        self._entries: dict[int, PageTableEntry] = {}
+
+    def lookup(self, page: int) -> Optional[PageTableEntry]:
+        """Return the valid PTE for ``page`` or ``None`` (page fault)."""
+        entry = self._entries.get(page)
+        if entry is not None and entry.valid:
+            return entry
+        return None
+
+    def install(self, page: int, frame: int, fault_number: int = 0) -> PageTableEntry:
+        """(Re)install a valid mapping after a migration."""
+        entry = PageTableEntry(frame=frame, faulted_at=fault_number)
+        self._entries[page] = entry
+        return entry
+
+    def invalidate(self, page: int) -> None:
+        """Mark ``page``'s PTE invalid (the page was evicted to the host)."""
+        entry = self._entries.get(page)
+        if entry is None or not entry.valid:
+            raise KeyError(f"page {page:#x} has no valid mapping")
+        entry.valid = False
+
+    def is_mapped(self, page: int) -> bool:
+        """Return ``True`` when ``page`` has a valid mapping."""
+        entry = self._entries.get(page)
+        return entry is not None and entry.valid
+
+    def valid_pages(self) -> list[int]:
+        """Return the list of pages with valid mappings."""
+        return [page for page, entry in self._entries.items() if entry.valid]
+
+    def __len__(self) -> int:
+        """Number of valid mappings."""
+        return sum(1 for entry in self._entries.values() if entry.valid)
+
+    def __contains__(self, page: int) -> bool:
+        return self.is_mapped(page)

@@ -1,0 +1,33 @@
+"""Page eviction policies: the paper's baselines plus extra references.
+
+The HPE policy itself lives in :mod:`repro.core` (it is the paper's
+contribution); everything here is a comparison baseline.
+"""
+
+from repro.policies.arc import ARCPolicy
+from repro.policies.base import EvictionPolicy, PolicyError
+from repro.policies.car import CARPolicy
+from repro.policies.clock_pro import ClockProPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.ideal import IdealPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.lru import LRUPolicy
+from repro.policies.random_policy import RandomPolicy
+from repro.policies.rrip import RRIPConfig, RRIPPolicy
+from repro.policies.wsclock import WSClockPolicy
+
+__all__ = [
+    "ARCPolicy",
+    "CARPolicy",
+    "ClockProPolicy",
+    "EvictionPolicy",
+    "FIFOPolicy",
+    "IdealPolicy",
+    "LFUPolicy",
+    "LRUPolicy",
+    "PolicyError",
+    "RRIPConfig",
+    "RRIPPolicy",
+    "RandomPolicy",
+    "WSClockPolicy",
+]

@@ -1,0 +1,112 @@
+"""ARC — adaptive replacement cache (Megiddo & Modha, FAST 2003).
+
+One of the related-work policies the paper discusses (Section VI): ARC
+balances a recency list T1 against a frequency list T2, steered by ghost
+lists B1/B2 of recently evicted pages and an adaptive target ``p`` for
+T1's share of memory.
+
+Adaptation to the demand-paging driver interface: the driver announces
+the incoming page via :meth:`on_fault_pending` (ARC's REPLACE decision
+needs to know whether it sits in B2), :meth:`select_victim` performs
+REPLACE (demoting the chosen page to the matching ghost list), and
+:meth:`on_page_in` finishes the ARC miss path (ghost-hit adaptation of
+``p`` and list placement).  Hits are observed at page-walk granularity,
+like every other driver-side policy here.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+class ARCPolicy(EvictionPolicy):
+    """ARC over resident GPU pages with ghost-list adaptation."""
+
+    name = "arc"
+    uses_walk_hits = True
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        #: Target size of T1 (recency side), 0 <= p <= capacity.
+        self.p = 0.0
+        self._t1: OrderedDict[int, None] = OrderedDict()  # seen once
+        self._t2: OrderedDict[int, None] = OrderedDict()  # seen twice+
+        self._b1: OrderedDict[int, None] = OrderedDict()  # ghosts of T1
+        self._b2: OrderedDict[int, None] = OrderedDict()  # ghosts of T2
+        self._pending: int | None = None
+
+    # ------------------------------------------------------------------
+    # Event intake
+    # ------------------------------------------------------------------
+
+    def on_walk_hit(self, page: int) -> None:
+        """ARC hit path: promote to the MRU end of T2."""
+        if page in self._t1:
+            del self._t1[page]
+            self._t2[page] = None
+        elif page in self._t2:
+            self._t2.move_to_end(page)
+
+    def on_fault_pending(self, page: int) -> None:
+        self._pending = page
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        """ARC miss path: adapt ``p`` on ghost hits, then place the page."""
+        self._pending = None
+        if page in self._b1:
+            delta = max(1.0, len(self._b2) / max(1, len(self._b1)))
+            self.p = min(float(self.capacity), self.p + delta)
+            del self._b1[page]
+            self._t2[page] = None
+            return
+        if page in self._b2:
+            delta = max(1.0, len(self._b1) / max(1, len(self._b2)))
+            self.p = max(0.0, self.p - delta)
+            del self._b2[page]
+            self._t2[page] = None
+            return
+        # Brand-new page: bound the directory at 2c, then insert into T1.
+        l1 = len(self._t1) + len(self._b1)
+        if l1 >= self.capacity:
+            if self._b1:
+                self._b1.popitem(last=False)
+        else:
+            total = l1 + len(self._t2) + len(self._b2)
+            if total >= 2 * self.capacity and self._b2:
+                self._b2.popitem(last=False)
+        self._t1[page] = None
+
+    # ------------------------------------------------------------------
+    # Victim selection (ARC's REPLACE)
+    # ------------------------------------------------------------------
+
+    def select_victim(self) -> int:
+        if not self._t1 and not self._t2:
+            raise PolicyError("ARC has no resident pages to evict")
+        incoming_in_b2 = (
+            self._pending is not None and self._pending in self._b2
+        )
+        take_t1 = bool(self._t1) and (
+            len(self._t1) > self.p
+            or (incoming_in_b2 and len(self._t1) == int(self.p))
+            or not self._t2
+        )
+        if take_t1:
+            victim, _ = self._t1.popitem(last=False)
+            self._b1[victim] = None
+        else:
+            victim, _ = self._t2.popitem(last=False)
+            self._b2[victim] = None
+        return victim
+
+    def resident_count(self) -> int:
+        return len(self._t1) + len(self._t2)
+
+    @property
+    def ghost_count(self) -> int:
+        """Pages tracked only as history (B1 + B2)."""
+        return len(self._b1) + len(self._b2)

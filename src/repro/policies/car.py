@@ -1,0 +1,103 @@
+"""CAR — CLOCK with adaptive replacement (Bansal & Modha, FAST 2004).
+
+Section VI cites CAR as a CLOCK variant that fixes LRU's thrashing
+weakness by combining ARC's two-list adaptation with CLOCK's
+reference-bit mechanics: two clocks T1 (recency) and T2 (frequency),
+ghost lists B1/B2, and the same adaptive target ``p``.
+
+Clock semantics, as in the original: a T1 page with its reference bit
+set is *promoted* to T2 (not evicted) when the hand passes; a T2 page
+with the bit set is recycled to T2's tail.  Pages demoted from T1/T2
+enter B1/B2 respectively.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+class CARPolicy(EvictionPolicy):
+    """CAR over resident GPU pages."""
+
+    name = "car"
+    uses_walk_hits = True
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self.p = 0.0
+        self._t1: deque[int] = deque()
+        self._t2: deque[int] = deque()
+        self._in_t1: set[int] = set()
+        self._in_t2: set[int] = set()
+        self._ref: set[int] = set()
+        self._b1: OrderedDict[int, None] = OrderedDict()
+        self._b2: OrderedDict[int, None] = OrderedDict()
+
+    def on_walk_hit(self, page: int) -> None:
+        if page in self._in_t1 or page in self._in_t2:
+            self._ref.add(page)
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        if page in self._b1:
+            self.p = min(
+                float(self.capacity),
+                self.p + max(1.0, len(self._b2) / max(1, len(self._b1))),
+            )
+            del self._b1[page]
+            self._t2.append(page)
+            self._in_t2.add(page)
+            return
+        if page in self._b2:
+            self.p = max(
+                0.0,
+                self.p - max(1.0, len(self._b1) / max(1, len(self._b2))),
+            )
+            del self._b2[page]
+            self._t2.append(page)
+            self._in_t2.add(page)
+            return
+        # History bounding as in CAR: |T1|+|B1| <= c, total <= 2c.
+        if len(self._t1) + len(self._b1) >= self.capacity:
+            if self._b1:
+                self._b1.popitem(last=False)
+        elif (len(self._t1) + len(self._t2)
+              + len(self._b1) + len(self._b2)) >= 2 * self.capacity:
+            if self._b2:
+                self._b2.popitem(last=False)
+        self._t1.append(page)
+        self._in_t1.add(page)
+
+    def select_victim(self) -> int:
+        if not self._t1 and not self._t2:
+            raise PolicyError("CAR has no resident pages to evict")
+        guard = 4 * (len(self._t1) + len(self._t2)) + 4
+        for _ in range(guard):
+            if self._t1 and (len(self._t1) >= max(1.0, self.p) or not self._t2):
+                page = self._t1.popleft()
+                self._in_t1.discard(page)
+                if page in self._ref:
+                    # Promote to the frequency clock.
+                    self._ref.discard(page)
+                    self._t2.append(page)
+                    self._in_t2.add(page)
+                    continue
+                self._b1[page] = None
+                return page
+            if self._t2:
+                page = self._t2.popleft()
+                self._in_t2.discard(page)
+                if page in self._ref:
+                    self._ref.discard(page)
+                    self._t2.append(page)
+                    self._in_t2.add(page)
+                    continue
+                self._b2[page] = None
+                return page
+        raise PolicyError("CAR victim sweep failed to terminate")
+
+    def resident_count(self) -> int:
+        return len(self._t1) + len(self._t2)

@@ -1,0 +1,34 @@
+"""First-in-first-out page replacement (extra baseline).
+
+Not part of the paper's headline comparison, but a useful sanity baseline
+for tests and ablations: FIFO ignores all reference information, so any
+recency/frequency-aware policy should beat it on LRU-friendly workloads.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+class FIFOPolicy(EvictionPolicy):
+    """Evict pages in arrival order, ignoring hits entirely."""
+
+    name = "fifo"
+
+    def __init__(self) -> None:
+        self._queue: OrderedDict[int, None] = OrderedDict()
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        if page not in self._queue:
+            self._queue[page] = None
+
+    def select_victim(self) -> int:
+        if not self._queue:
+            raise PolicyError("FIFO queue is empty; nothing to evict")
+        page, _ = self._queue.popitem(last=False)
+        return page
+
+    def resident_count(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,93 @@
+"""Offline "Ideal" eviction policy (Belady's MIN, Section III-B).
+
+The paper's upper-bound baseline: "we use an offline eviction policy to
+explore the upper bound of performance, which is similar to Belady's MIN
+algorithm".  The policy is primed with the complete future page-reference
+trace and always evicts the resident page whose next use is farthest in
+the future (never-used-again pages first).
+
+Because demand-paged residency depends only on the reference stream (TLBs
+never hold translations for evicted pages — shootdowns see to that), MIN
+on the raw trace is the true lower bound on evictions.
+
+Implementation: every resident page's *next-use position* is kept exact —
+each trace reference re-keys the referenced page — and victims come from a
+max-heap with lazy deletion, so the cost is O(log n) per reference.
+"""
+
+from __future__ import annotations
+
+import heapq
+from bisect import bisect_right
+from typing import Sequence
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+#: Next-use key for pages never referenced again.
+NEVER = float("inf")
+
+
+class IdealPolicy(EvictionPolicy):
+    """Belady's MIN over the primed reference trace."""
+
+    name = "ideal"
+    requires_future = True
+
+    def __init__(self) -> None:
+        self._trace: Sequence[int] = ()
+        self._occurrences: dict[int, list[int]] = {}
+        self._position = -1
+        #: page → its current (exact) next-use key.
+        self._resident: dict[int, float] = {}
+        self._heap: list[tuple[float, int]] = []
+        self._primed = False
+
+    def prime_future(self, trace: Sequence[int]) -> None:
+        """Index every page's occurrence positions in ``trace``."""
+        occurrences: dict[int, list[int]] = {}
+        for index, page in enumerate(trace):
+            occurrences.setdefault(page, []).append(index)
+        self._trace = trace
+        self._occurrences = occurrences
+        self._position = -1
+        self._primed = True
+
+    def _next_use(self, page: int) -> float:
+        positions = self._occurrences.get(page)
+        if not positions:
+            return NEVER
+        index = bisect_right(positions, self._position)
+        if index >= len(positions):
+            return NEVER
+        return positions[index]
+
+    def on_trace_position(self, position: int) -> None:
+        """Advance to ``position`` and re-key the page referenced there."""
+        self._position = position
+        if 0 <= position < len(self._trace):
+            page = self._trace[position]
+            if page in self._resident:
+                key = self._next_use(page)
+                self._resident[page] = key
+                heapq.heappush(self._heap, (-key, page))
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        if not self._primed:
+            raise PolicyError("IdealPolicy.prime_future() was never called")
+        key = self._next_use(page)
+        self._resident[page] = key
+        heapq.heappush(self._heap, (-key, page))
+
+    def select_victim(self) -> int:
+        if not self._resident:
+            raise PolicyError("no resident pages to evict")
+        while self._heap:
+            neg_key, page = heapq.heappop(self._heap)
+            if self._resident.get(page) == -neg_key:
+                del self._resident[page]
+                return page
+            # Otherwise: stale entry (page evicted or re-keyed); skip it.
+        raise PolicyError("Ideal heap exhausted with pages still resident")
+
+    def resident_count(self) -> int:
+        return len(self._resident)

@@ -1,0 +1,53 @@
+"""Least-frequently-used page replacement (extra baseline).
+
+Section VI notes that "using frequency information is not enough to select
+appropriate eviction candidates in unified memory"; this implementation
+lets the experiments demonstrate that.  Frequency counts page-walk level
+touches (faults + walk hits); ties break by recency (least recent first).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+class LFUPolicy(EvictionPolicy):
+    """LFU with LRU tie-breaking, via a lazily-invalidated heap."""
+
+    name = "lfu"
+    uses_walk_hits = True
+
+    def __init__(self) -> None:
+        self._count: dict[int, int] = {}
+        self._stamp: dict[int, int] = {}
+        self._clock = itertools.count()
+        self._heap: list[tuple[int, int, int]] = []
+
+    def _touch(self, page: int) -> None:
+        self._count[page] = self._count.get(page, 0) + 1
+        stamp = next(self._clock)
+        self._stamp[page] = stamp
+        heapq.heappush(self._heap, (self._count[page], stamp, page))
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        self._count.pop(page, None)
+        self._touch(page)
+
+    def on_walk_hit(self, page: int) -> None:
+        if page in self._count:
+            self._touch(page)
+
+    def select_victim(self) -> int:
+        while self._heap:
+            count, stamp, page = heapq.heappop(self._heap)
+            if self._count.get(page) == count and self._stamp.get(page) == stamp:
+                del self._count[page]
+                del self._stamp[page]
+                return page
+        raise PolicyError("no resident pages to evict")
+
+    def resident_count(self) -> int:
+        return len(self._count)

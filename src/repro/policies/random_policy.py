@@ -1,0 +1,45 @@
+"""Random page replacement.
+
+Zheng et al. [10] observed (and Section V-B corroborates) that random
+eviction is competitive with LRU for most access patterns except types IV
+and VI.  The policy keeps resident pages in a flat array with an index map
+so victim selection is O(1).
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.policies.base import EvictionPolicy, PolicyError
+
+
+class RandomPolicy(EvictionPolicy):
+    """Uniform random victim selection with a seedable RNG."""
+
+    name = "random"
+
+    def __init__(self, seed: int = 0x5EED) -> None:
+        self._rng = random.Random(seed)
+        self._pages: list[int] = []
+        self._index: dict[int, int] = {}
+
+    def on_page_in(self, page: int, fault_number: int) -> None:
+        if page in self._index:
+            return
+        self._index[page] = len(self._pages)
+        self._pages.append(page)
+
+    def select_victim(self) -> int:
+        if not self._pages:
+            raise PolicyError("no resident pages to evict")
+        slot = self._rng.randrange(len(self._pages))
+        page = self._pages[slot]
+        last = self._pages.pop()
+        if last != page:
+            self._pages[slot] = last
+            self._index[last] = slot
+        del self._index[page]
+        return page
+
+    def resident_count(self) -> int:
+        return len(self._pages)

@@ -1,0 +1,7 @@
+"""Trace-driven GPU UVM simulator: configuration, engine, results."""
+
+from repro.sim.config import GPUConfig
+from repro.sim.engine import UVMSimulator, simulate
+from repro.sim.results import SimulationResult
+
+__all__ = ["GPUConfig", "SimulationResult", "UVMSimulator", "simulate"]

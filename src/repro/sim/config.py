@@ -1,0 +1,68 @@
+"""Simulated system configuration (Table I of the paper).
+
+The defaults model the NVIDIA GTX-480 Fermi-like GPU the paper simulates:
+15 SMs at 1.4 GHz, per-SM 128-entry L1 TLBs (1 cycle), a shared 512-entry
+16-way L2 TLB (10 cycles), an 8-cycle page walk, and a 16 GB/s CPU–GPU
+interconnect with a 20 µs page-fault service time.
+
+Two knobs are timing-model parameters with no Table I row:
+
+* ``warps_per_sm`` — how many in-flight warps per SM hide latency under
+  the replayable far-fault mechanism (Fermi supports 48 resident warps);
+* ``memory_latency_cycles`` — DRAM round-trip charged to non-faulting
+  accesses (hidden when other warps are runnable).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.tlb.tlb import TLBConfig
+from repro.uvm.pcie import PCIeLink
+
+
+@dataclass(frozen=True)
+class GPUConfig:
+    """Top-level simulator configuration."""
+
+    num_sms: int = 15
+    clock_ghz: float = 1.4
+    warps_per_sm: int = 48
+    memory_latency_cycles: int = 300
+    #: Instructions represented by one trace event (a page-touch episode).
+    instructions_per_access: int = 64
+    walk_latency_cycles: int = 8
+    l1_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(
+            entries=128, associativity=128, latency_cycles=1, name="l1_tlb"
+        )
+    )
+    l2_tlb: TLBConfig = field(
+        default_factory=lambda: TLBConfig(
+            entries=512, associativity=16, latency_cycles=10, name="l2_tlb"
+        )
+    )
+    pcie: PCIeLink = field(default_factory=PCIeLink)
+
+    def __post_init__(self) -> None:
+        if self.num_sms <= 0:
+            raise ValueError("num_sms must be positive")
+        if self.warps_per_sm <= 0:
+            raise ValueError("warps_per_sm must be positive")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+        if self.instructions_per_access <= 0:
+            raise ValueError("instructions_per_access must be positive")
+        if self.memory_latency_cycles < 0:
+            raise ValueError("memory_latency_cycles must be non-negative")
+        if self.walk_latency_cycles < 0:
+            raise ValueError("walk_latency_cycles must be non-negative")
+
+    def with_walk_latency(self, cycles: int) -> "GPUConfig":
+        """Copy of this config with a different page-walk latency (§V-B)."""
+        return replace(self, walk_latency_cycles=cycles)
+
+    @property
+    def total_warps(self) -> int:
+        """Machine-wide latency-hiding warp slots."""
+        return self.num_sms * self.warps_per_sm

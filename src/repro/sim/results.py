@@ -1,0 +1,63 @@
+"""Simulation result container and derived metrics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.uvm.driver import DriverStats
+
+
+@dataclass
+class SimulationResult:
+    """Everything one (workload × policy × capacity) run produced."""
+
+    policy_name: str
+    workload_name: str
+    capacity_pages: int
+    footprint_pages: int
+    trace_length: int
+    cycles: int
+    instructions: int
+    driver: DriverStats
+    l1_tlb_hits: int = 0
+    l2_tlb_hits: int = 0
+    walker_hits: int = 0
+    #: Optional policy-specific extras (HPE stats, RRIP sweeps, …).
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle over the whole run."""
+        if not self.cycles:
+            return 0.0
+        return self.instructions / self.cycles
+
+    @property
+    def faults(self) -> int:
+        """Total page faults serviced."""
+        return self.driver.faults
+
+    @property
+    def evictions(self) -> int:
+        """Total pages evicted."""
+        return self.driver.evictions
+
+    @property
+    def oversubscription_rate(self) -> float:
+        """Fraction of the footprint that fits in GPU memory."""
+        if not self.footprint_pages:
+            return 1.0
+        return self.capacity_pages / self.footprint_pages
+
+    def speedup_over(self, baseline: "SimulationResult") -> float:
+        """IPC speedup of this run relative to ``baseline``."""
+        if not baseline.ipc:
+            return 0.0
+        return self.ipc / baseline.ipc
+
+    def evictions_normalized_to(self, baseline: "SimulationResult") -> float:
+        """Eviction count of this run relative to ``baseline``."""
+        if not baseline.evictions:
+            return 1.0 if not self.evictions else float("inf")
+        return self.evictions / baseline.evictions

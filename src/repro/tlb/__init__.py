@@ -1,0 +1,16 @@
+"""Address translation substrate: TLBs, hierarchy, and page-table walker."""
+
+from repro.tlb.hierarchy import TLBHierarchy, TranslationLevel, TranslationResult
+from repro.tlb.tlb import TLB, TLBConfig, TLBStats
+from repro.tlb.walker import PageTableWalker, WalkOutcome
+
+__all__ = [
+    "PageTableWalker",
+    "TLB",
+    "TLBConfig",
+    "TLBHierarchy",
+    "TLBStats",
+    "TranslationLevel",
+    "TranslationResult",
+    "WalkOutcome",
+]

@@ -1,0 +1,109 @@
+"""Two-level TLB hierarchy: private per-SM L1 TLBs backed by a shared L2.
+
+This is the second address-translation design described in Section II of
+the paper (per-SM L1 TLBs + shared L2 TLB), which the authors adopt
+because it outperforms a shared page-walk cache.
+
+A translation request flows L1 → L2 → page-table walker; the hierarchy
+reports where it was satisfied so the timing engine can charge the right
+latency and the walker can notify the HIR cache on page-walk hits.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.tlb.tlb import TLB, TLBConfig
+
+
+class TranslationLevel(enum.Enum):
+    """Where a translation request was satisfied."""
+
+    L1_TLB = "l1_tlb"
+    L2_TLB = "l2_tlb"
+    PAGE_TABLE = "page_table"
+    FAULT = "fault"
+
+
+@dataclass
+class TranslationResult:
+    """Outcome of a lookup through the hierarchy (before walking)."""
+
+    level: TranslationLevel
+    latency_cycles: int
+
+
+class TLBHierarchy:
+    """Per-SM L1 TLBs in front of one shared L2 TLB.
+
+    The hierarchy only resolves TLB levels; misses fall through to the
+    caller (the page-table walker), which decides hit vs. page fault.
+    """
+
+    def __init__(
+        self,
+        num_sms: int,
+        l1_config: TLBConfig,
+        l2_config: TLBConfig,
+    ) -> None:
+        if num_sms <= 0:
+            raise ValueError(f"num_sms must be positive, got {num_sms}")
+        self.num_sms = num_sms
+        self.l1_tlbs = [
+            TLB(TLBConfig(
+                entries=l1_config.entries,
+                associativity=l1_config.associativity,
+                latency_cycles=l1_config.latency_cycles,
+                name=f"l1_tlb_sm{sm}",
+            ))
+            for sm in range(num_sms)
+        ]
+        self.l2_tlb = TLB(l2_config)
+
+    def lookup(self, sm: int, page: int) -> TranslationResult:
+        """Probe L1 then L2 for ``page`` on behalf of SM ``sm``.
+
+        Returns a :class:`TranslationResult` whose level is ``L1_TLB`` or
+        ``L2_TLB`` on a hit.  On a full TLB miss the level is
+        ``PAGE_TABLE`` (meaning: "go walk"), and the latency covers the
+        two TLB probes only — the caller adds walk latency.
+        """
+        l1 = self.l1_tlbs[sm]
+        latency = l1.config.latency_cycles
+        if l1.lookup(page):
+            return TranslationResult(TranslationLevel.L1_TLB, latency)
+        latency += self.l2_tlb.config.latency_cycles
+        if self.l2_tlb.lookup(page):
+            # Refill the L1 so subsequent accesses from this SM hit there.
+            l1.insert(page)
+            return TranslationResult(TranslationLevel.L2_TLB, latency)
+        return TranslationResult(TranslationLevel.PAGE_TABLE, latency)
+
+    def fill(self, sm: int, page: int, frame: int = 0) -> None:
+        """Install a translation in the requesting SM's L1 and in the L2."""
+        self.l1_tlbs[sm].insert(page, frame)
+        self.l2_tlb.insert(page, frame)
+
+    def shootdown(self, page: int) -> int:
+        """Invalidate ``page`` everywhere (page evicted); return hit count."""
+        removed = sum(1 for tlb in self.l1_tlbs if tlb.invalidate(page))
+        if self.l2_tlb.invalidate(page):
+            removed += 1
+        return removed
+
+    def flush(self) -> None:
+        """Drop every translation in every TLB."""
+        for tlb in self.l1_tlbs:
+            tlb.flush()
+        self.l2_tlb.flush()
+
+    @property
+    def total_hits(self) -> int:
+        """Aggregate hit count across all levels."""
+        return self.l2_tlb.stats.hits + sum(t.stats.hits for t in self.l1_tlbs)
+
+    @property
+    def total_misses(self) -> int:
+        """Full-hierarchy misses (L2 misses — every one reaches the walker)."""
+        return self.l2_tlb.stats.misses

@@ -1,0 +1,6 @@
+"""Unified-memory substrate: the GPU driver fault path and PCIe model."""
+
+from repro.uvm.driver import DriverStats, FaultOutcome, UVMDriver
+from repro.uvm.pcie import PCIeLink
+
+__all__ = ["DriverStats", "FaultOutcome", "PCIeLink", "UVMDriver"]

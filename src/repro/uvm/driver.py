@@ -1,0 +1,138 @@
+"""The GPU driver's demand-paging fault handler (Section II).
+
+GPUs cannot run OS service routines, so page faults are handled by a
+software runtime on the host CPU: the faulting SM's translation stalls, a
+request crosses PCIe, the host resolves it, and — when GPU memory is full
+— the driver first selects an eviction candidate, pages it out, then
+migrates the faulted page in.  This class reproduces that control flow
+against a pluggable :class:`~repro.policies.base.EvictionPolicy`.
+
+The replayable far-fault mechanism [Zheng et al., HPCA 2016] means only
+the faulting *warp* blocks; the timing engine models that — the driver
+here is purely functional (what moved where), returning byte counts for
+the engine to convert into cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.memory.addressing import PAGE_SIZE_BYTES
+from repro.memory.frames import FramePool
+from repro.memory.page_table import PageTable
+from repro.policies.base import EvictionPolicy
+from repro.tlb.hierarchy import TLBHierarchy
+
+
+@dataclass
+class DriverStats:
+    """Fault/eviction accounting for one run."""
+
+    faults: int = 0
+    compulsory_faults: int = 0
+    capacity_faults: int = 0
+    evictions: int = 0
+    bytes_migrated_in: int = 0
+    bytes_evicted_out: int = 0
+    #: Pages migrated speculatively by fault-around prefetching.
+    prefetches: int = 0
+
+    @property
+    def refaults(self) -> int:
+        """Faults on pages that were previously resident (thrashing)."""
+        return self.capacity_faults
+
+
+@dataclass
+class FaultOutcome:
+    """What one fault handling did."""
+
+    page: int
+    frame: int
+    evicted_page: Optional[int]
+    #: Bytes moved over PCIe for this fault (page in + page out).
+    bytes_transferred: int
+
+
+class UVMDriver:
+    """Host-side fault handler orchestrating eviction and migration."""
+
+    def __init__(
+        self,
+        frame_pool: FramePool,
+        page_table: PageTable,
+        policy: EvictionPolicy,
+        tlb_hierarchy: Optional[TLBHierarchy] = None,
+        page_size_bytes: int = PAGE_SIZE_BYTES,
+        prefetch_degree: int = 0,
+    ) -> None:
+        if prefetch_degree < 0:
+            raise ValueError("prefetch_degree must be non-negative")
+        self.frame_pool = frame_pool
+        self.page_table = page_table
+        self.policy = policy
+        self.tlb_hierarchy = tlb_hierarchy
+        self.page_size_bytes = page_size_bytes
+        #: Fault-around prefetching: on a fault for page *p*, also migrate
+        #: the next ``prefetch_degree`` non-resident pages after *p* (real
+        #: UVM runtimes migrate whole 64 KB chunks around the fault).
+        self.prefetch_degree = prefetch_degree
+        self.stats = DriverStats()
+        self._ever_touched: set[int] = set()
+
+    def _evict_one(self) -> int:
+        victim = self.policy.select_victim()
+        self.page_table.invalidate(victim)
+        self.frame_pool.unmap_page(victim)
+        if self.tlb_hierarchy is not None:
+            self.tlb_hierarchy.shootdown(victim)
+        self.stats.evictions += 1
+        self.stats.bytes_evicted_out += self.page_size_bytes
+        return victim
+
+    def _migrate_in(self, page: int) -> tuple[int, Optional[int]]:
+        """Map ``page`` in (evicting first if needed); return (frame, victim)."""
+        evicted = self._evict_one() if self.frame_pool.is_full() else None
+        frame = self.frame_pool.map_page(page)
+        self.page_table.install(page, frame, fault_number=self.stats.faults)
+        self.stats.bytes_migrated_in += self.page_size_bytes
+        self.policy.on_page_in(page, self.stats.faults)
+        return frame, evicted
+
+    def handle_fault(self, page: int) -> FaultOutcome:
+        """Service a page fault for ``page``: evict if needed, migrate in.
+
+        With ``prefetch_degree > 0`` the next sequential non-resident
+        pages ride along on the same fault service.
+        """
+        self.stats.faults += 1
+        if page in self._ever_touched:
+            self.stats.capacity_faults += 1
+        else:
+            self._ever_touched.add(page)
+            self.stats.compulsory_faults += 1
+
+        self.policy.on_fault_pending(page)
+        frame, evicted = self._migrate_in(page)
+        bytes_moved = self.page_size_bytes
+        if evicted is not None:
+            bytes_moved += self.page_size_bytes  # the eviction writeback
+
+        for ahead in range(1, self.prefetch_degree + 1):
+            neighbour = page + ahead
+            if self.frame_pool.is_resident(neighbour):
+                continue
+            _, prefetch_victim = self._migrate_in(neighbour)
+            self._ever_touched.add(neighbour)
+            self.stats.prefetches += 1
+            bytes_moved += self.page_size_bytes
+            if prefetch_victim is not None:
+                bytes_moved += self.page_size_bytes
+
+        return FaultOutcome(
+            page=page,
+            frame=frame,
+            evicted_page=evicted,
+            bytes_transferred=bytes_moved,
+        )

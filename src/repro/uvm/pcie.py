@@ -1,0 +1,47 @@
+"""CPU–GPU interconnect cost model.
+
+Table I: a 16 GB/s PCIe link with a 20 µs page-fault service time.  Page
+fault handling "requires several PCIe round trips and interaction with the
+host CPU"; the paper (like Zheng et al. [10]) folds all of that into a
+fixed 20 µs service latency, to which we add the pure bandwidth cost of
+the bytes actually moved (evicted page, migrated page, HIR payload).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class PCIeLink:
+    """Fixed-latency, fixed-bandwidth interconnect model."""
+
+    bandwidth_gbs: float = 16.0
+    fault_service_us: float = 20.0
+    clock_ghz: float = 1.4
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth_gbs must be positive")
+        if self.fault_service_us < 0:
+            raise ValueError("fault_service_us must be non-negative")
+        if self.clock_ghz <= 0:
+            raise ValueError("clock_ghz must be positive")
+
+    @property
+    def fault_service_cycles(self) -> int:
+        """The 20 µs fault penalty expressed in GPU core cycles."""
+        return round(self.fault_service_us * 1000.0 * self.clock_ghz)
+
+    def transfer_cycles(self, num_bytes: int) -> int:
+        """GPU cycles to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        seconds = num_bytes / (self.bandwidth_gbs * 1e9)
+        return round(seconds * self.clock_ghz * 1e9)
+
+    def transfer_us(self, num_bytes: int) -> float:
+        """Microseconds to move ``num_bytes`` across the link."""
+        if num_bytes < 0:
+            raise ValueError("num_bytes must be non-negative")
+        return num_bytes / (self.bandwidth_gbs * 1e9) * 1e6

@@ -1,0 +1,44 @@
+"""Workload substrate: access-pattern generators and the Table II suite."""
+
+from repro.workloads.base import PatternType, Trace, concatenate, interleave
+from repro.workloads.patterns import (
+    episode_schedule,
+    most_repetitive,
+    part_repetitive,
+    region_moving,
+    repetitive_thrashing,
+    streaming,
+    thrashing,
+)
+from repro.workloads.trace_io import TraceFormatError, load_trace, save_trace
+from repro.workloads.suite import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    ApplicationSpec,
+    all_applications,
+    applications_of_type,
+    get_application,
+)
+
+__all__ = [
+    "APPLICATIONS",
+    "APPLICATION_ORDER",
+    "ApplicationSpec",
+    "PatternType",
+    "Trace",
+    "TraceFormatError",
+    "all_applications",
+    "applications_of_type",
+    "concatenate",
+    "episode_schedule",
+    "get_application",
+    "interleave",
+    "load_trace",
+    "most_repetitive",
+    "part_repetitive",
+    "region_moving",
+    "save_trace",
+    "repetitive_thrashing",
+    "streaming",
+    "thrashing",
+]

@@ -1,0 +1,107 @@
+"""Workload traces and the access-pattern taxonomy of Fig. 2.
+
+A :class:`Trace` is a sequence of *page-touch episodes*: one event per
+access episode of a 4 KB page.  Intra-episode re-references (consecutive
+accesses to the same page by the same warp) are absorbed by the L1 data
+cache and TLBs on a real GPU and carry no information for the driver, so
+they are not materialised.  A page the paper writes as :math:`a_i^{N_i}`
+therefore contributes :math:`N_i` episodes.
+
+The six pattern types are the paper's own taxonomy (Section III-A).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+
+class PatternType(enum.Enum):
+    """The six representative access patterns of Fig. 2."""
+
+    STREAMING = "I"
+    THRASHING = "II"
+    PART_REPETITIVE = "III"
+    MOST_REPETITIVE = "IV"
+    REPETITIVE_THRASHING = "V"
+    REGION_MOVING = "VI"
+
+    @property
+    def roman(self) -> str:
+        """Roman-numeral label used by the paper's tables and figures."""
+        return self.value
+
+
+@dataclass
+class Trace:
+    """A named page-touch trace with its pattern classification."""
+
+    name: str
+    pages: list[int]
+    pattern_type: PatternType
+    metadata: dict = field(default_factory=dict)
+    _footprint: Optional[int] = field(default=None, repr=False)
+
+    @property
+    def footprint_pages(self) -> int:
+        """Number of distinct pages the trace touches."""
+        if self._footprint is None:
+            self._footprint = len(set(self.pages))
+        return self._footprint
+
+    def __len__(self) -> int:
+        return len(self.pages)
+
+    def __iter__(self):
+        return iter(self.pages)
+
+    def capacity_for(self, oversubscription_rate: float) -> int:
+        """GPU frames so that ``rate`` of the footprint fits (Section V).
+
+        An oversubscription rate of 0.75 means "only 75% of the
+        application footprint fits in the GPU memory".
+        """
+        if not 0.0 < oversubscription_rate <= 1.0:
+            raise ValueError(
+                "oversubscription_rate must be in (0, 1], got "
+                f"{oversubscription_rate}"
+            )
+        return max(1, int(self.footprint_pages * oversubscription_rate))
+
+
+def concatenate(name: str, traces: Sequence[Trace], pattern_type: PatternType) -> Trace:
+    """Join traces back-to-back (phased workloads, e.g. NW's even/odd)."""
+    pages: list[int] = []
+    for trace in traces:
+        pages.extend(trace.pages)
+    return Trace(name=name, pages=pages, pattern_type=pattern_type)
+
+
+def interleave(
+    name: str,
+    traces: Sequence[Trace],
+    pattern_type: PatternType,
+    weights: Optional[Sequence[int]] = None,
+) -> Trace:
+    """Round-robin merge of traces (streams running concurrently).
+
+    ``weights[i]`` events are taken from trace *i* per round; exhausted
+    traces simply drop out.
+    """
+    if weights is None:
+        weights = [1] * len(traces)
+    if len(weights) != len(traces):
+        raise ValueError("weights must match traces")
+    iters = [iter(t.pages) for t in traces]
+    active = set(range(len(traces)))
+    pages: list[int] = []
+    while active:
+        for i in list(active):
+            for _ in range(weights[i]):
+                try:
+                    pages.append(next(iters[i]))
+                except StopIteration:
+                    active.discard(i)
+                    break
+    return Trace(name=name, pages=pages, pattern_type=pattern_type)

@@ -1,0 +1,269 @@
+"""Generators for the six access patterns of Fig. 2.
+
+Every generator is deterministic given its ``seed`` and produces a
+:class:`~repro.workloads.base.Trace` of page-touch episodes.
+
+Two generation idioms reproduce the paper's observable statistics:
+
+* **Region passes** (:func:`region_passes`) — GPU kernels process a
+  *region* of contiguous pages in several sweeps (tiles re-read per
+  block, frontiers expanded per level).  Page *i* with episode count
+  ``counts[i]`` appears in the first ``counts[i]`` sweeps of its region.
+  Because a sweep is longer than the shared L2 TLB reach (512 pages),
+  re-references arrive at the page-table walker where eviction policies
+  can see them; and because counts are drawn per *locality block* of
+  contiguous pages, page-set counters stay divisible by the page-set
+  size — the paper's "virtual pages with continuous addresses have good
+  spatial locality" observation, which is what makes the Table III
+  statistics meaningful.
+* **Episode schedules** (:func:`episode_schedule`) — per-page episodes
+  scattered on a timeline, used for the genuinely irregular applications
+  (KMN, SAD, histogram bins, sparse gathers) whose page-set counters the
+  paper reports as indivisible.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Optional, Sequence
+
+from repro.workloads.base import PatternType, Trace
+
+#: Default pages per region sweep; must exceed the shared L2 TLB reach
+#: (512 pages) so that re-references reach the page-table walker.
+DEFAULT_REGION_PAGES = 1024
+
+#: Default spatial-locality block (pages sharing one re-reference count).
+DEFAULT_LOCALITY_BLOCK = 16
+
+#: Default distance (in episodes) between scattered re-references.
+DEFAULT_REREF_GAP = 600
+
+
+def _blocked_counts(
+    num_pages: int,
+    choose_count: Callable[[random.Random], int],
+    locality_block: int,
+    rng: random.Random,
+) -> list[int]:
+    """Draw one episode count per locality block and broadcast to pages."""
+    if locality_block <= 0:
+        raise ValueError(f"locality_block must be positive, got {locality_block}")
+    counts: list[int] = []
+    for start in range(0, num_pages, locality_block):
+        count = choose_count(rng)
+        block_len = min(locality_block, num_pages - start)
+        counts.extend([count] * block_len)
+    return counts
+
+
+def region_passes(
+    counts: Sequence[int],
+    region_pages: int = DEFAULT_REGION_PAGES,
+    base_pages: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """Multi-pass region sweeps: page *i* appears in its region's first
+    ``counts[i]`` sweeps.
+
+    The footprint is carved into consecutive regions of ``region_pages``
+    pages; each region is swept in address order as many times as its
+    largest count before moving on.
+    """
+    if region_pages <= 0:
+        raise ValueError(f"region_pages must be positive, got {region_pages}")
+    pages: list[int] = []
+    for start in range(0, len(counts), region_pages):
+        stop = min(start + region_pages, len(counts))
+        max_passes = max(counts[start:stop], default=0)
+        for sweep in range(max_passes):
+            for i in range(start, stop):
+                if counts[i] > sweep:
+                    pages.append(base_pages[i] if base_pages is not None else i)
+    return pages
+
+
+def episode_schedule(
+    counts: Sequence[int],
+    reref_gap: float = DEFAULT_REREF_GAP,
+    rng: Optional[random.Random] = None,
+    base_pages: Optional[Sequence[int]] = None,
+) -> list[int]:
+    """Scattered episodes: page *i*'s first episode at position *i*, each
+    further episode ``reref_gap × U(0.75, 1.25)`` later.
+
+    Re-references of different pages intersect — the paper's "different
+    page references usually intersect with each other".
+    """
+    rng = rng or random.Random(0)
+    events: list[tuple[float, int]] = []
+    for i, count in enumerate(counts):
+        page = base_pages[i] if base_pages is not None else i
+        position = float(i)
+        events.append((position, page))
+        for _ in range(count - 1):
+            position += reref_gap * (0.75 + 0.5 * rng.random())
+            events.append((position, page))
+    events.sort(key=lambda event: event[0])
+    return [page for _, page in events]
+
+
+def streaming(
+    num_pages: int,
+    name: str = "streaming",
+    base_page: int = 0,
+) -> Trace:
+    """Type I: every page exactly once, in address order."""
+    if num_pages <= 0:
+        raise ValueError(f"num_pages must be positive, got {num_pages}")
+    pages = list(range(base_page, base_page + num_pages))
+    return Trace(name=name, pages=pages, pattern_type=PatternType.STREAMING)
+
+
+def thrashing(
+    num_pages: int,
+    iterations: int,
+    name: str = "thrashing",
+    base_page: int = 0,
+) -> Trace:
+    """Type II: a sweep over ``num_pages`` repeated ``iterations`` times.
+
+    Thrashes whenever ``num_pages`` exceeds the memory size (the paper's
+    ``k > memory size, N ≥ 2`` condition).
+    """
+    if num_pages <= 0 or iterations < 2:
+        raise ValueError("need num_pages > 0 and iterations >= 2")
+    sweep = list(range(base_page, base_page + num_pages))
+    return Trace(
+        name=name,
+        pages=sweep * iterations,
+        pattern_type=PatternType.THRASHING,
+        metadata={"iterations": iterations},
+    )
+
+
+def part_repetitive(
+    num_pages: int,
+    repeat_probability: float = 0.3,
+    repeats: int = 2,
+    seed: int = 1,
+    locality_block: int = DEFAULT_LOCALITY_BLOCK,
+    region_pages: int = 64,
+    name: str = "part-repetitive",
+) -> Trace:
+    """Type III: some locality blocks re-swept ``repeats`` times (prob. ε).
+
+    The default region of 64 pages keeps the re-sweep *inside* the TLB
+    reach and inside HPE's two-interval recency window: the repeats are
+    absorbed before they can disturb the driver,
+    so the page-set counters stay small-and-regular — the Fig. 9
+    statistics for PAT/DWT/BKP.  ``locality_block=1`` draws counts per
+    page instead, producing the irregular counters of the paper's
+    KMN/SAD outliers (their traces come out of
+    :func:`episode_schedule`-style scattering; see
+    :mod:`repro.workloads.suite`).
+    """
+    if not 0.0 <= repeat_probability <= 1.0:
+        raise ValueError("repeat_probability must be within [0, 1]")
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    rng = random.Random(seed)
+
+    def choose(r: random.Random) -> int:
+        return repeats if r.random() < repeat_probability else 1
+
+    counts = _blocked_counts(num_pages, choose, locality_block, rng)
+    pages = region_passes(counts, region_pages)
+    return Trace(name=name, pages=pages, pattern_type=PatternType.PART_REPETITIVE)
+
+
+def most_repetitive(
+    num_pages: int,
+    repeats_range: tuple[int, int] = (3, 4),
+    seed: int = 2,
+    locality_block: int = DEFAULT_LOCALITY_BLOCK,
+    region_pages: int = DEFAULT_REGION_PAGES,
+    name: str = "most-repetitive",
+) -> Trace:
+    """Type IV: most pages referenced multiple times."""
+    low, high = repeats_range
+    if low < 1 or high < low:
+        raise ValueError("repeats_range must satisfy 1 <= low <= high")
+    rng = random.Random(seed)
+
+    def choose(r: random.Random) -> int:
+        return r.randint(low, high)
+
+    counts = _blocked_counts(num_pages, choose, locality_block, rng)
+    pages = region_passes(counts, region_pages)
+    return Trace(name=name, pages=pages, pattern_type=PatternType.MOST_REPETITIVE)
+
+
+def repetitive_thrashing(
+    num_pages: int,
+    iterations: int = 2,
+    repeats_range: tuple[int, int] = (2, 3),
+    seed: int = 3,
+    locality_block: int = DEFAULT_LOCALITY_BLOCK,
+    region_pages: int = DEFAULT_REGION_PAGES,
+    name: str = "repetitive-thrashing",
+) -> Trace:
+    """Type V: a type-IV sequence repeated ``iterations`` times.
+
+    ``region_pages`` controls whether the intra-iteration repeats are
+    visible to the driver (> 512: walk hits reach the walker, counters
+    grow large) or absorbed by the TLBs (≤ 512: counters stay small, the
+    paper's SGM outlier).
+    """
+    if iterations < 2:
+        raise ValueError("iterations must be >= 2 for a thrashing pattern")
+    rng = random.Random(seed)
+    low, high = repeats_range
+
+    def choose(r: random.Random) -> int:
+        return r.randint(low, high)
+
+    pages: list[int] = []
+    for _ in range(iterations):
+        counts = _blocked_counts(num_pages, choose, locality_block, rng)
+        pages.extend(region_passes(counts, region_pages))
+    return Trace(
+        name=name,
+        pages=pages,
+        pattern_type=PatternType.REPETITIVE_THRASHING,
+        metadata={"iterations": iterations},
+    )
+
+
+def region_moving(
+    num_pages: int,
+    num_regions: int = 4,
+    repeats_range: tuple[int, int] = (3, 5),
+    seed: int = 4,
+    locality_block: int = DEFAULT_LOCALITY_BLOCK,
+    name: str = "region-moving",
+) -> Trace:
+    """Type VI: the footprint is worked on one address region at a time.
+
+    Each region is swept repeatedly (per-block counts), then the workload
+    moves on and never returns — the recency-friendly pattern LRU handles
+    well and frequency-based policies mispredict.  Regions are sized
+    ``num_pages / num_regions``; keep that above the L2 TLB reach so the
+    within-region re-references stay visible to the driver.
+    """
+    if num_regions <= 0 or num_pages < num_regions:
+        raise ValueError("need at least one page per region")
+    rng = random.Random(seed)
+    low, high = repeats_range
+
+    def choose(r: random.Random) -> int:
+        return r.randint(low, high)
+
+    counts = _blocked_counts(num_pages, choose, locality_block, rng)
+    region_pages = -(-num_pages // num_regions)
+    pages = region_passes(counts, region_pages)
+    return Trace(
+        name=name,
+        pages=pages,
+        pattern_type=PatternType.REGION_MOVING,
+        metadata={"regions": num_regions},
+    )

@@ -1,0 +1,502 @@
+"""The 23 evaluated applications (Table II), as synthetic trace models.
+
+The paper evaluates applications from Rodinia, Parboil and Polybench whose
+binaries and inputs we cannot run here; instead each application is
+modelled by a generator parameterised to reproduce the *observable*
+behaviour the paper documents for it:
+
+* its access-pattern type (Table II);
+* its classification statistics at first-full (Fig. 9, Table III),
+  including the outliers the paper calls out (KMN/SAD have irregular
+  counters despite being type III; SGM is regular despite being type V);
+* its documented quirks — NW touches even then odd pages (driving HPE's
+  page-set division), MVT uses an address stride of 4, BFS hides a
+  thrashing phase that defeats LRU and triggers dynamic adjustment.
+
+Footprints are scaled down (≈ 0.7–5.8k pages ≈ 3–22.5 MB) from the paper's
+3–130 MB so pure-Python simulation stays fast; oversubscription rates are
+relative, so the eviction dynamics are unchanged.  The ``scale`` argument
+shrinks or grows every footprint for quick tests and stress runs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.workloads.base import PatternType, Trace, concatenate, interleave
+from repro.workloads.patterns import (
+    episode_schedule,
+    most_repetitive,
+    part_repetitive,
+    region_moving,
+    region_passes,
+    repetitive_thrashing,
+    streaming,
+    thrashing,
+)
+
+Builder = Callable[[int, float], Trace]
+
+
+@dataclass(frozen=True)
+class ApplicationSpec:
+    """One evaluated application."""
+
+    abbr: str
+    name: str
+    suite: str
+    pattern_type: PatternType
+    builder: Builder
+    notes: str = ""
+
+    def build(self, seed: int = 0, scale: float = 1.0) -> Trace:
+        """Materialise the application trace."""
+        if scale <= 0:
+            raise ValueError(f"scale must be positive, got {scale}")
+        trace = self.builder(seed, scale)
+        trace.name = self.abbr
+        trace.metadata.setdefault("suite", self.suite)
+        trace.metadata.setdefault("application", self.name)
+        trace.metadata.setdefault("pattern_type", self.pattern_type.roman)
+        return trace
+
+    @property
+    def is_thrashing_type(self) -> bool:
+        """Type II — selects RRIP's distant-insertion configuration."""
+        return self.pattern_type is PatternType.THRASHING
+
+
+def _pages(base: int, scale: float) -> int:
+    """Scale a footprint, keeping it page-set aligned and non-trivial."""
+    return max(64, int(base * scale) // 16 * 16)
+
+
+# ----------------------------------------------------------------------
+# Special-case builders
+# ----------------------------------------------------------------------
+
+
+def _build_gem(seed: int, scale: float) -> Trace:
+    """GEMM: stream A/C rows while re-sweeping the B matrix.
+
+    The repeated B sweep interleaved 1:1 with single-use stream pages
+    defeats LRU (the paper's type-I outlier in Fig. 3): between two
+    touches of a B page, more distinct pages pass than fit in memory.
+    """
+    stream_pages = _pages(512, scale)
+    b_pages = _pages(1856, scale)
+    passes = 3
+    stream = streaming(stream_pages, name="gem-stream")
+    sweep = Trace(
+        name="gem-b",
+        pages=list(range(stream_pages, stream_pages + b_pages)) * passes,
+        pattern_type=PatternType.THRASHING,
+    )
+    weight_b = max(1, round(len(sweep.pages) / len(stream.pages)))
+    return interleave(
+        "GEM", [stream, sweep], PatternType.STREAMING, weights=[1, weight_b]
+    )
+
+
+def _build_kmn(seed: int, scale: float) -> Trace:
+    """K-means: per-page scattered re-references → irregular counters.
+
+    Fig. 9 outlier: type III but classified irregular#2.  Also the
+    largest footprint in the suite (the paper uses it to bound the
+    classification overhead in §V-C).
+    """
+    footprint = _pages(4096, scale)
+    rng = random.Random(seed)
+    counts = [3 if rng.random() < 0.45 else 1 for _ in range(footprint)]
+    return Trace(
+        "KMN",
+        episode_schedule(counts, 1500.0, rng),
+        PatternType.PART_REPETITIVE,
+    )
+
+
+def _build_sad(seed: int, scale: float) -> Trace:
+    """SAD: scattered re-references on 2-page blocks → irregular counters."""
+    footprint = _pages(2560, scale)
+    rng = random.Random(seed + 1)
+    counts: list[int] = []
+    while len(counts) < footprint:
+        count = 3 if rng.random() < 0.4 else 1
+        counts.extend([count, count])
+    counts = counts[:footprint]
+    return Trace(
+        "SAD",
+        episode_schedule(counts, 900.0, rng),
+        PatternType.PART_REPETITIVE,
+    )
+
+
+def _build_srd(seed: int, scale: float) -> Trace:
+    """SRAD v2: repeated stencil sweeps with a wide hot window.
+
+    Each iteration sweeps the footprint with every page touched three
+    times across a ~200-fault window (neighbouring stencil rows share
+    pages).  The window extends past HPE's old-partition boundary, so
+    MRU-C's eviction from the MRU end of the old partition hits pages
+    that are still hot — the paper's "instant thrashing" for SRD, which
+    the dynamic adjustment repairs by jumping the search point (§IV-E).
+    """
+    footprint = _pages(3072, scale)
+    rng = random.Random(seed)
+    pages: list[int] = []
+    for _ in range(3):
+        pages.extend(episode_schedule([3] * footprint, 100.0, rng))
+    return Trace(
+        "SRD", pages, PatternType.THRASHING, metadata={"iterations": 3}
+    )
+
+
+def _build_stn(seed: int, scale: float) -> Trace:
+    """Stencil: repeated sweeps over a small footprint.
+
+    Small enough that the old partition holds fewer than 4 × page-set-size
+    sets when memory first fills, so HPE's jump adjustment is gated off
+    (Section IV-E: jumping hurts small-footprint applications).
+    """
+    footprint = _pages(768, scale)
+    return thrashing(footprint, iterations=8, name="STN")
+
+
+def _build_nw(seed: int, scale: float) -> Trace:
+    """Needleman–Wunsch: growing even-page wavefront, then the odd pages.
+
+    Section IV-C's division example.  Each wave re-sweeps all previously
+    touched pages and faults in one more strip, so page-walk hits keep
+    flowing through HIR while faults keep triggering transfers; page-set
+    counters saturate at 64 with only the even bits populated — exactly
+    the condition that divides a page set into primary and secondary.
+    """
+    footprint = _pages(3840, scale)
+    even = list(range(0, footprint, 2))
+    odd = list(range(1, footprint, 2))
+    waves = 15
+
+    def wavefront(pages: list[int]) -> list[int]:
+        strip = max(1, len(pages) // waves)
+        out: list[int] = []
+        for wave in range(1, waves + 1):
+            out.extend(pages[: min(wave * strip, len(pages))])
+        return out
+
+    return Trace(
+        "NW",
+        wavefront(even) + wavefront(odd),
+        PatternType.MOST_REPETITIVE,
+        metadata={"waves": waves},
+    )
+
+
+def _build_bfs(seed: int, scale: float) -> Trace:
+    """BFS: frontier passes followed by two marginal re-visit loops.
+
+    The frontier phase saturates page-set counters with regular values,
+    so BFS classifies irregular#1 and starts with LRU — the paper's
+    canonical misclassification (Section IV-E).  The loops then sweep
+    slightly more pages than fit in memory at the 50% and 75%
+    oversubscription rates respectively; LRU thrashes with a refault gap
+    inside the wrong-eviction FIFO, and the dynamic adjustment switches
+    to MRU-C under both rates (Fig. 13).
+    """
+    footprint = _pages(5760, scale)
+    frontier = most_repetitive(
+        footprint, repeats_range=(3, 3), seed=seed, name="bfs-frontier"
+    )
+    loop_50 = thrashing(
+        max(64, int(footprint * 0.50) + int(80 * scale)),
+        iterations=3,
+        name="bfs-loop50",
+    )
+    loop_75 = thrashing(
+        max(64, int(footprint * 0.75) + int(80 * scale)),
+        iterations=3,
+        name="bfs-loop75",
+    )
+    return concatenate(
+        "BFS", [frontier, loop_50, loop_75], PatternType.MOST_REPETITIVE
+    )
+
+
+def _build_mvt(seed: int, scale: float) -> Trace:
+    """MVT: stride-4 matrix rows with the vector re-read per row strip.
+
+    The stride leaves only 4 touched pages per page set: counters of 12
+    are indivisible by 16, classifying MVT as irregular#2, and HIR
+    entries record only a quarter of their counter vector (the §V-B
+    "wasted entry space" effect).  The vector pages are re-swept against
+    every strip of matrix rows (y = A·x reads x per row), which keeps
+    them recent in the chain.
+    """
+    row_span = _pages(6144, scale)
+    vector_pages = max(64, _pages(192, scale))
+    rows = list(range(0, row_span, 4))
+    vector = list(range(row_span, row_span + vector_pages))
+    strip = 512
+    pages: list[int] = []
+    for start in range(0, len(rows), strip):
+        chunk = rows[start:start + strip]
+        pages.extend(
+            region_passes([3] * len(chunk), region_pages=strip, base_pages=chunk)
+        )
+        pages.extend(vector)
+    return Trace(
+        "MVT",
+        pages,
+        PatternType.MOST_REPETITIVE,
+        metadata={"stride": 4},
+    )
+
+
+def _build_his(seed: int, scale: float) -> Trace:
+    """Histogram: streamed input, irregular hot bins, marginal loops.
+
+    The per-page bin counts classify HIS as irregular#2 (start LRU); the
+    trailing loops — sized just above the 50% and 75% memory capacities —
+    make LRU thrash detectably, so HIS switches strategy under both
+    oversubscription rates (Fig. 13).
+    """
+    input_pages = _pages(1536, scale)
+    bin_pages = max(64, _pages(512, scale))
+    footprint = input_pages + bin_pages
+    rng = random.Random(seed)
+    stream = streaming(input_pages, name="his-input")
+    bins = list(range(input_pages, input_pages + bin_pages))
+    counts = [rng.randint(1, 6) for _ in bins]
+    hot = Trace(
+        "his-bins",
+        episode_schedule(counts, 1200.0, rng, base_pages=bins),
+        PatternType.MOST_REPETITIVE,
+    )
+    fill = interleave(
+        "his-fill", [stream, hot], PatternType.REPETITIVE_THRASHING,
+        weights=[2, 3],
+    )
+    loop_50 = thrashing(
+        max(64, int(footprint * 0.50) + int(80 * scale)),
+        iterations=3,
+        name="his-loop50",
+    )
+    loop_75 = thrashing(
+        max(64, int(footprint * 0.75) + int(80 * scale)),
+        iterations=3,
+        name="his-loop75",
+    )
+    return concatenate(
+        "HIS", [fill, loop_50, loop_75], PatternType.REPETITIVE_THRASHING
+    )
+
+
+def _build_spv(seed: int, scale: float) -> Trace:
+    """SpMV: region sweeps with per-page-irregular gather counts."""
+    footprint = _pages(2304, scale)
+    rng = random.Random(seed)
+    counts = [rng.choice((1, 1, 2, 3, 5)) for _ in range(footprint)]
+    return Trace(
+        "SPV",
+        region_passes(counts),
+        PatternType.REPETITIVE_THRASHING,
+    )
+
+
+# ----------------------------------------------------------------------
+# Registry
+# ----------------------------------------------------------------------
+
+
+def _spec(
+    abbr: str,
+    name: str,
+    suite: str,
+    pattern: PatternType,
+    builder: Builder,
+    notes: str = "",
+) -> ApplicationSpec:
+    return ApplicationSpec(
+        abbr=abbr,
+        name=name,
+        suite=suite,
+        pattern_type=pattern,
+        builder=builder,
+        notes=notes,
+    )
+
+
+APPLICATIONS: dict[str, ApplicationSpec] = {
+    spec.abbr: spec
+    for spec in [
+        # ---- Type I: streaming --------------------------------------
+        _spec(
+            "HOT", "hotspot", "Rodinia", PatternType.STREAMING,
+            lambda s, k: streaming(_pages(2048, k), name="HOT"),
+        ),
+        _spec(
+            "LEU", "leukocyte", "Rodinia", PatternType.STREAMING,
+            lambda s, k: streaming(_pages(1536, k), name="LEU"),
+        ),
+        _spec(
+            "CUT", "cutcp", "Parboil", PatternType.STREAMING,
+            lambda s, k: streaming(_pages(1792, k), name="CUT"),
+        ),
+        _spec(
+            "2DC", "2DCONV", "Polybench", PatternType.STREAMING,
+            lambda s, k: streaming(_pages(2304, k), name="2DC"),
+        ),
+        _spec(
+            "GEM", "GEMM", "Polybench", PatternType.STREAMING,
+            _build_gem,
+            notes="type-I outlier: repeated B sweep defeats LRU (Fig. 3)",
+        ),
+        # ---- Type II: thrashing -------------------------------------
+        _spec(
+            "SRD", "srad_v2", "Rodinia", PatternType.THRASHING,
+            _build_srd,
+            notes="MRU-C instant thrashing; adjusts search point (Fig. 13)",
+        ),
+        _spec(
+            "HSD", "hotspot3D", "Rodinia", PatternType.THRASHING,
+            lambda s, k: thrashing(_pages(1536, k), iterations=12, name="HSD"),
+            notes="paper's best case: 2.81x over LRU at 75%",
+        ),
+        _spec(
+            "MRQ", "mri-q", "Parboil", PatternType.THRASHING,
+            lambda s, k: thrashing(_pages(2560, k), iterations=4, name="MRQ"),
+        ),
+        _spec(
+            "STN", "stencil", "Parboil", PatternType.THRASHING,
+            _build_stn,
+            notes="small footprint: jump adjustment is gated off (§IV-E)",
+        ),
+        # ---- Type III: part repetitive ------------------------------
+        _spec(
+            "PAT", "pathfinder", "Rodinia", PatternType.PART_REPETITIVE,
+            lambda s, k: part_repetitive(_pages(2048, k), 0.30, 2, seed=s, name="PAT"),
+        ),
+        _spec(
+            "DWT", "dwt2d", "Rodinia", PatternType.PART_REPETITIVE,
+            lambda s, k: part_repetitive(_pages(1792, k), 0.35, 2, seed=s + 1, name="DWT"),
+        ),
+        _spec(
+            "BKP", "backprop", "Rodinia", PatternType.PART_REPETITIVE,
+            lambda s, k: part_repetitive(_pages(2304, k), 0.25, 2, seed=s + 2, name="BKP"),
+        ),
+        _spec(
+            "KMN", "kmeans", "Rodinia", PatternType.PART_REPETITIVE,
+            _build_kmn,
+            notes="Fig. 9 outlier: irregular counters -> irregular#2",
+        ),
+        _spec(
+            "SAD", "sad", "Parboil", PatternType.PART_REPETITIVE,
+            _build_sad,
+            notes="Fig. 9 outlier: irregular counters -> irregular#2",
+        ),
+        # ---- Type IV: most repetitive -------------------------------
+        _spec(
+            "NW", "nw", "Rodinia", PatternType.MOST_REPETITIVE,
+            _build_nw,
+            notes="even/odd phases drive page-set division (§IV-C)",
+        ),
+        _spec(
+            "BFS", "bfs", "Rodinia", PatternType.MOST_REPETITIVE,
+            _build_bfs,
+            notes="misclassified; dynamic adjustment switches to MRU-C",
+        ),
+        _spec(
+            "MVT", "MVT", "Polybench", PatternType.MOST_REPETITIVE,
+            _build_mvt,
+            notes="stride-4 pages waste HIR entries (§V-B)",
+        ),
+        # ---- Type V: repetitive thrashing ---------------------------
+        _spec(
+            "HWL", "heartwall", "Rodinia", PatternType.REPETITIVE_THRASHING,
+            lambda s, k: repetitive_thrashing(
+                _pages(5120, k), iterations=2, repeats_range=(3, 3),
+                seed=s + 5, name="HWL",
+            ),
+        ),
+        _spec(
+            "SGM", "sgemm", "Parboil", PatternType.REPETITIVE_THRASHING,
+            lambda s, k: repetitive_thrashing(
+                _pages(1792, k), iterations=3, repeats_range=(2, 2),
+                seed=s + 6, region_pages=64, name="SGM",
+            ),
+            notes="Fig. 9 outlier: small ratio1 -> classified regular",
+        ),
+        _spec(
+            "HIS", "histo", "Parboil", PatternType.REPETITIVE_THRASHING,
+            _build_his,
+        ),
+        _spec(
+            "SPV", "spmv", "Parboil", PatternType.REPETITIVE_THRASHING,
+            _build_spv,
+        ),
+        # ---- Type VI: region moving ---------------------------------
+        _spec(
+            "B+T", "b+tree", "Rodinia", PatternType.REGION_MOVING,
+            lambda s, k: region_moving(
+                _pages(5120, k), num_regions=5, repeats_range=(3, 4),
+                seed=s + 7, name="B+T",
+            ),
+        ),
+        _spec(
+            "HYB", "hybridsort", "Rodinia", PatternType.REGION_MOVING,
+            lambda s, k: region_moving(
+                _pages(5632, k), num_regions=5, repeats_range=(3, 4),
+                seed=s + 8, name="HYB",
+            ),
+        ),
+    ]
+}
+
+#: Paper presentation order: grouped by pattern type (Table II).
+APPLICATION_ORDER: list[str] = [
+    "HOT", "LEU", "CUT", "2DC", "GEM",          # I
+    "SRD", "HSD", "MRQ", "STN",                 # II
+    "PAT", "DWT", "BKP", "KMN", "SAD",          # III
+    "NW", "BFS", "MVT",                         # IV
+    "HWL", "SGM", "HIS", "SPV",                 # V
+    "B+T", "HYB",                               # VI
+]
+
+
+def get_application(abbr: str) -> ApplicationSpec:
+    """Look up an application by its Table II abbreviation."""
+    try:
+        return APPLICATIONS[abbr.upper()]
+    except KeyError:
+        known = ", ".join(APPLICATION_ORDER)
+        raise KeyError(f"unknown application {abbr!r}; known: {known}") from None
+
+
+def applications_of_type(pattern: PatternType) -> list[ApplicationSpec]:
+    """All applications with the given pattern type, in paper order."""
+    return [
+        APPLICATIONS[abbr]
+        for abbr in APPLICATION_ORDER
+        if APPLICATIONS[abbr].pattern_type is pattern
+    ]
+
+
+def all_applications() -> list[ApplicationSpec]:
+    """Every application in paper (Table II) order."""
+    return [APPLICATIONS[abbr] for abbr in APPLICATION_ORDER]
+
+
+#: Hand-picked eviction strategy per application, used by the Section V-A
+#: sensitivity studies ("we turned off dynamic adjustment and selected an
+#: appropriate eviction strategy for each application manually").
+#: "mru-c" for the applications that end up on MRU-C in Fig. 13, "lru"
+#: for the ones that stay on LRU.
+MANUAL_STRATEGY: dict[str, str] = {
+    "HOT": "mru-c", "LEU": "mru-c", "CUT": "mru-c", "2DC": "mru-c",
+    "GEM": "mru-c", "SRD": "mru-c", "HSD": "mru-c", "MRQ": "mru-c",
+    "STN": "mru-c", "PAT": "mru-c", "DWT": "mru-c", "BKP": "mru-c",
+    "SGM": "mru-c", "BFS": "mru-c",
+    "KMN": "lru", "SAD": "lru", "NW": "lru", "MVT": "lru",
+    "HWL": "lru", "HIS": "lru", "SPV": "lru", "B+T": "lru", "HYB": "lru",
+}

@@ -1,0 +1,111 @@
+"""Reading and writing page-touch traces.
+
+A dependency-free interchange format so traces can be captured once and
+replayed across machines (or fed in from real instrumentation):
+
+* optionally gzip-compressed text;
+* a ``# repro-trace v1`` magic line;
+* ``# key=value`` metadata lines (``name`` and ``pattern`` are understood);
+* one decimal page number per line.
+
+Example::
+
+    # repro-trace v1
+    # name=HSD
+    # pattern=II
+    0
+    1
+    ...
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+from pathlib import Path
+from typing import Union
+
+from repro.workloads.base import PatternType, Trace
+
+MAGIC = "# repro-trace v1"
+
+_PATTERN_BY_ROMAN = {pattern.roman: pattern for pattern in PatternType}
+
+
+class TraceFormatError(ValueError):
+    """Raised when a trace file does not follow the v1 format."""
+
+
+def _open_text(path: Path, mode: str):
+    if path.suffix == ".gz":
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write ``trace`` to ``path`` (gzip-compressed when it ends in .gz)."""
+    path = Path(path)
+    with _open_text(path, "w") as stream:
+        stream.write(MAGIC + "\n")
+        stream.write(f"# name={trace.name}\n")
+        stream.write(f"# pattern={trace.pattern_type.roman}\n")
+        for key, value in sorted(trace.metadata.items()):
+            if key in ("name", "pattern"):
+                continue
+            stream.write(f"# {key}={value}\n")
+        for page in trace.pages:
+            stream.write(f"{page}\n")
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a v1 trace file written by :func:`save_trace`."""
+    path = Path(path)
+    pages: list[int] = []
+    metadata: dict[str, str] = {}
+    name = path.stem
+    pattern = PatternType.STREAMING
+    with _open_text(path, "r") as stream:
+        first = stream.readline().rstrip("\n")
+        if first != MAGIC:
+            raise TraceFormatError(
+                f"{path} is not a repro trace (expected {MAGIC!r}, "
+                f"got {first!r})"
+            )
+        for line_number, line in enumerate(stream, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                body = line.lstrip("#").strip()
+                if "=" not in body:
+                    continue
+                key, value = body.split("=", 1)
+                key, value = key.strip(), value.strip()
+                if key == "name":
+                    name = value
+                elif key == "pattern":
+                    try:
+                        pattern = _PATTERN_BY_ROMAN[value]
+                    except KeyError:
+                        raise TraceFormatError(
+                            f"{path}:{line_number}: unknown pattern {value!r}"
+                        ) from None
+                else:
+                    metadata[key] = value
+                continue
+            try:
+                page = int(line)
+            except ValueError:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: expected a page number, "
+                    f"got {line!r}"
+                ) from None
+            if page < 0:
+                raise TraceFormatError(
+                    f"{path}:{line_number}: negative page number {page}"
+                )
+            pages.append(page)
+    if not pages:
+        raise TraceFormatError(f"{path} contains no page references")
+    return Trace(name=name, pages=pages, pattern_type=pattern,
+                 metadata=metadata)

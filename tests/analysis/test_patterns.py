@@ -1,0 +1,83 @@
+"""Tests for the automatic access-pattern classifier."""
+
+import pytest
+
+from repro.analysis.patterns import extract_features, infer_pattern
+from repro.workloads import (
+    PatternType,
+    get_application,
+    most_repetitive,
+    part_repetitive,
+    region_moving,
+    streaming,
+    thrashing,
+)
+
+
+class TestFeatures:
+    def test_streaming_features(self):
+        features = extract_features(list(range(100)))
+        assert features.footprint == 100
+        assert features.repeat_fraction == 0.0
+        assert features.mean_episodes == 1.0
+        assert features.sweep_count == 1
+
+    def test_thrash_sweep_count(self):
+        features = extract_features(list(range(50)) * 4)
+        assert features.sweep_count == 4
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            infer_pattern([])
+
+
+class TestSyntheticGroundTruth:
+    def test_streaming(self):
+        assert infer_pattern(streaming(2000).pages) is PatternType.STREAMING
+
+    def test_thrashing(self):
+        trace = thrashing(2000, iterations=4)
+        assert infer_pattern(trace.pages) is PatternType.THRASHING
+
+    def test_part_repetitive(self):
+        trace = part_repetitive(2000, repeat_probability=0.3, seed=1)
+        assert infer_pattern(trace.pages) is PatternType.PART_REPETITIVE
+
+    def test_most_repetitive(self):
+        trace = most_repetitive(3000, repeats_range=(3, 4), seed=1)
+        # Interleaved passes over 1024-page regions of a 3-region span:
+        # heavy repetition without monotone motion at band granularity.
+        assert infer_pattern(trace.pages) in (
+            PatternType.MOST_REPETITIVE, PatternType.REGION_MOVING
+        )
+
+    def test_region_moving(self):
+        trace = region_moving(5120, num_regions=5, seed=1)
+        assert infer_pattern(trace.pages) is PatternType.REGION_MOVING
+
+
+class TestSuiteGroundTruth:
+    """The classifier must recover the Table II type for most apps."""
+
+    EXACT = [
+        "HOT", "LEU", "CUT", "2DC",          # I
+        "HSD", "MRQ", "STN",                 # II
+        "PAT", "DWT", "BKP", "KMN", "SAD",   # III
+        "NW", "BFS", "MVT",                  # IV
+        "HWL", "SGM",                        # V
+        "B+T", "HYB",                        # VI
+    ]
+
+    @pytest.mark.parametrize("abbr", EXACT)
+    def test_recovers_table2_type(self, abbr):
+        spec = get_application(abbr)
+        trace = spec.build(seed=7)
+        assert infer_pattern(trace.pages) is spec.pattern_type
+
+    def test_overall_accuracy(self):
+        from repro.workloads import all_applications
+        hits = sum(
+            1 for spec in all_applications()
+            if infer_pattern(spec.build(seed=7).pages) is spec.pattern_type
+        )
+        assert hits >= 19  # GEM/SRD/HIS/SPV straddle types by design

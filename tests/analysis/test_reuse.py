@@ -1,0 +1,136 @@
+"""Tests for reuse-distance analysis and miss curves."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.reuse import (
+    COLD,
+    belady_faults,
+    belady_miss_curve,
+    lru_miss_curve,
+    profile,
+    reuse_distances,
+)
+
+
+class TestReuseDistances:
+    def test_all_cold_on_streaming(self):
+        assert reuse_distances([1, 2, 3]) == [COLD, COLD, COLD]
+
+    def test_immediate_rereference(self):
+        assert reuse_distances([1, 1]) == [COLD, 0]
+
+    def test_one_intervening_page(self):
+        assert reuse_distances([1, 2, 1]) == [COLD, COLD, 1]
+
+    def test_duplicate_intervening_pages_counted_once(self):
+        assert reuse_distances([1, 2, 2, 2, 1]) == [COLD, COLD, 0, 0, 1]
+
+    def test_cyclic_sweep_distance_is_footprint_minus_one(self):
+        trace = [0, 1, 2, 3] * 2
+        distances = reuse_distances(trace)
+        assert distances[4:] == [3, 3, 3, 3]
+
+    def test_empty_trace(self):
+        assert reuse_distances([]) == []
+
+    @given(st.lists(st.integers(0, 10), max_size=200))
+    def test_brute_force_equivalence(self, trace):
+        def brute(trace):
+            result = []
+            last = {}
+            for i, page in enumerate(trace):
+                if page not in last:
+                    result.append(COLD)
+                else:
+                    result.append(len(set(trace[last[page] + 1:i])))
+                last[page] = i
+            return result
+
+        assert reuse_distances(trace) == brute(trace)
+
+
+class TestProfile:
+    def test_profile_fields(self):
+        p = profile([1, 2, 1, 3, 1])
+        assert p.trace_length == 5
+        assert p.footprint == 3
+        assert p.cold_references == 3
+        assert p.reuse_fraction == pytest.approx(0.4)
+
+    def test_mean_reuse_distance(self):
+        p = profile([1, 2, 1])  # one warm access at distance 1
+        assert p.mean_reuse_distance == 1.0
+
+    def test_mean_zero_when_streaming(self):
+        assert profile([1, 2, 3]).mean_reuse_distance == 0.0
+
+    def test_distance_histogram(self):
+        p = profile([1, 2, 1, 2])
+        histogram = p.distance_histogram([2, 8])
+        assert histogram["0-1"] == 2
+        assert histogram["2-7"] == 0
+        assert histogram[">=8"] == 0
+
+
+class TestLRUMissCurve:
+    def test_matches_direct_simulation(self):
+        from repro.policies.lru import LRUPolicy
+        trace = [0, 1, 2, 0, 3, 1, 2, 4, 0, 1] * 4
+        curve = lru_miss_curve(trace, [2, 3, 4, 5])
+        for capacity, expected in curve.items():
+            # Direct LRU simulation (walk-hit = every access).
+            policy = LRUPolicy()
+            resident: set[int] = set()
+            faults = 0
+            for page in trace:
+                if page in resident:
+                    policy.on_walk_hit(page)
+                    continue
+                faults += 1
+                if len(resident) >= capacity:
+                    resident.discard(policy.select_victim())
+                policy.on_page_in(page, faults)
+                resident.add(page)
+            assert faults == expected, f"capacity {capacity}"
+
+    def test_monotone_in_capacity(self):
+        trace = [0, 1, 2, 3, 0, 1, 4, 2] * 5
+        curve = lru_miss_curve(trace, [1, 2, 3, 4, 5, 6])
+        values = [curve[c] for c in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            lru_miss_curve([1], [0])
+
+
+class TestBeladyCurve:
+    def test_matches_ideal_policy(self):
+        from tests.policies.test_ideal import drive
+        from repro.policies.ideal import IdealPolicy
+        trace = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2] * 3
+        for capacity in (2, 3, 4):
+            faults, _ = drive(IdealPolicy(), trace, capacity)
+            assert belady_faults(trace, capacity) == faults
+
+    def test_textbook_value(self):
+        trace = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2]
+        assert belady_faults(trace, 3) == 7
+
+    def test_curve_monotone(self):
+        trace = list(range(8)) * 4
+        curve = belady_miss_curve(trace, [2, 4, 6, 8])
+        values = [curve[c] for c in sorted(curve)]
+        assert values == sorted(values, reverse=True)
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ValueError):
+            belady_faults([1], 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(trace=st.lists(st.integers(0, 12), min_size=1, max_size=150),
+           capacity=st.integers(1, 8))
+    def test_belady_lower_bounds_lru(self, trace, capacity):
+        lru = lru_miss_curve(trace, [capacity])[capacity]
+        assert belady_faults(trace, capacity) <= lru

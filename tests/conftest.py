@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.memory.addressing import PageSetGeometry
+from repro.sim.config import GPUConfig
+from repro.tlb.tlb import TLBConfig
+
+
+@pytest.fixture
+def geometry() -> PageSetGeometry:
+    """Paper-default page-set geometry (16 pages per set)."""
+    return PageSetGeometry(16)
+
+
+@pytest.fixture
+def small_config() -> GPUConfig:
+    """A small GPU configuration that keeps unit tests fast."""
+    return GPUConfig(
+        num_sms=2,
+        warps_per_sm=4,
+        l1_tlb=TLBConfig(entries=8, associativity=8, latency_cycles=1),
+        l2_tlb=TLBConfig(entries=32, associativity=4, latency_cycles=10),
+    )
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    """Deterministic RNG for tests that need randomness."""
+    return random.Random(0xC0FFEE)
+
+
+def cyclic_trace(num_pages: int, iterations: int) -> list[int]:
+    """A thrashing loop trace: pages 0..n-1 repeated."""
+    return list(range(num_pages)) * iterations
+
+
+def random_trace(num_pages: int, length: int, seed: int = 1) -> list[int]:
+    """Uniformly random page references."""
+    rng = random.Random(seed)
+    return [rng.randrange(num_pages) for _ in range(length)]

@@ -1,0 +1,168 @@
+"""Unit tests for the dynamic-adjustment machinery (Algorithm 1)."""
+
+import pytest
+
+from repro.core.adjustment import DynamicAdjustment, EvictionFIFO
+from repro.core.classifier import Category
+from repro.core.strategies import StrategyKind
+
+
+class TestEvictionFIFO:
+    def test_rejects_bad_depth(self):
+        with pytest.raises(ValueError):
+            EvictionFIFO(0)
+
+    def test_push_and_take(self):
+        fifo = EvictionFIFO(4)
+        fifo.push(1)
+        assert 1 in fifo
+        assert fifo.take(1)
+        assert 1 not in fifo
+
+    def test_take_absent(self):
+        assert not EvictionFIFO(4).take(9)
+
+    def test_bounded_depth(self):
+        fifo = EvictionFIFO(3)
+        for page in range(5):
+            fifo.push(page)
+        assert len(fifo) == 3
+        assert 0 not in fifo and 1 not in fifo
+        assert 4 in fifo
+
+    def test_repush_refreshes(self):
+        fifo = EvictionFIFO(2)
+        fifo.push(1)
+        fifo.push(2)
+        fifo.push(1)   # refresh, not duplicate
+        fifo.push(3)   # displaces 2
+        assert 1 in fifo and 3 in fifo and 2 not in fifo
+
+
+def make_adjustment(category, **kwargs):
+    defaults = dict(page_set_size=16, fifo_depth=128, jump_distance=16,
+                    old_sets_at_first_full=100)
+    defaults.update(kwargs)
+    return DynamicAdjustment(category, **defaults)
+
+
+def trigger(adjustment, pages):
+    """Evict then refault ``pages`` under the active strategy."""
+    for page in pages:
+        adjustment.on_eviction(page)
+    for page in pages:
+        adjustment.on_fault(page)
+
+
+class TestInitialStrategy:
+    def test_regular_starts_mru_c(self):
+        assert make_adjustment(Category.REGULAR).strategy is StrategyKind.MRU_C
+
+    def test_irregular1_starts_lru(self):
+        assert make_adjustment(Category.IRREGULAR_1).strategy is StrategyKind.LRU
+
+    def test_irregular2_starts_lru(self):
+        assert make_adjustment(Category.IRREGULAR_2).strategy is StrategyKind.LRU
+
+
+class TestRegularJump:
+    def test_jump_after_threshold_wrong_evictions(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        trigger(adjustment, range(16))
+        assert adjustment.jump == 16
+        assert adjustment.strategy is StrategyKind.MRU_C
+        assert adjustment.stats.jump_adjustments == 1
+
+    def test_below_threshold_no_jump(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        trigger(adjustment, range(15))
+        assert adjustment.jump == 0
+
+    def test_jump_gated_for_small_footprint(self):
+        # "If the number is smaller than 4 x page set size, HPE does not
+        # adjust the eviction strategy even if the requirement is satisfied."
+        adjustment = make_adjustment(Category.REGULAR, old_sets_at_first_full=63)
+        trigger(adjustment, range(32))
+        assert adjustment.jump == 0
+
+    def test_gate_boundary(self):
+        adjustment = make_adjustment(Category.REGULAR, old_sets_at_first_full=64)
+        assert adjustment.jump_allowed
+
+    def test_jump_accumulates(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        trigger(adjustment, range(16))
+        trigger(adjustment, range(100, 116))
+        assert adjustment.jump == 32
+
+    def test_interval_end_resets_wrong_counter(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        trigger(adjustment, range(10))
+        adjustment.on_interval_end()
+        trigger(adjustment, range(100, 110))
+        assert adjustment.jump == 0   # never reached 16 within an interval
+
+
+class TestIrregularSwitching:
+    def test_first_trigger_switches_to_untried(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        trigger(adjustment, range(16))
+        assert adjustment.strategy is StrategyKind.MRU_C
+        assert adjustment.stats.strategy_switches == 1
+
+    def test_short_stint_rolls_back(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        for _ in range(10):
+            adjustment.on_interval_end()   # LRU survives 10 intervals
+        trigger(adjustment, range(16))     # -> MRU-C
+        adjustment.on_interval_end()       # MRU-C survives 1 interval
+        trigger(adjustment, range(100, 116))
+        # LRU's last stint (10) outlived MRU-C's current one (1): roll back.
+        assert adjustment.strategy is StrategyKind.LRU
+
+    def test_long_stint_is_sticky(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        trigger(adjustment, range(16))     # quick switch to MRU-C
+        for _ in range(20):
+            adjustment.on_interval_end()   # MRU-C survives 20 intervals
+        trigger(adjustment, range(100, 116))
+        # LRU's last stint (0 intervals) did not outlive MRU-C: stay.
+        assert adjustment.strategy is StrategyKind.MRU_C
+
+    def test_irregular1_switching_configurable(self):
+        adjustment = make_adjustment(
+            Category.IRREGULAR_1, allow_irregular1_switch=False
+        )
+        trigger(adjustment, range(16))
+        assert adjustment.strategy is StrategyKind.LRU
+
+    def test_disabled_adjustment_never_changes(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2, enabled=False)
+        trigger(adjustment, range(64))
+        assert adjustment.strategy is StrategyKind.LRU
+        assert adjustment.stats.strategy_switches == 0
+
+
+class TestTimeline:
+    def test_single_segment_covers_run(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        for page in range(10):
+            adjustment.on_fault(page)
+        timeline = adjustment.timeline(total_faults=10)
+        assert len(timeline) == 1
+        assert timeline[0].start_fault == 0
+        assert timeline[0].end_fault == 10
+
+    def test_segments_after_switch(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        trigger(adjustment, range(16))
+        timeline = adjustment.timeline(total_faults=40)
+        assert [seg.strategy for seg in timeline] == [
+            StrategyKind.LRU, StrategyKind.MRU_C
+        ]
+        assert timeline[-1].end_fault == 40
+
+    def test_wrong_eviction_total(self):
+        adjustment = make_adjustment(Category.REGULAR)
+        trigger(adjustment, range(5))
+        assert adjustment.stats.wrong_evictions_total == 5

@@ -1,0 +1,114 @@
+"""Unit tests for the HIR cache."""
+
+import pytest
+
+from repro.core.hir import COUNTER_MAX, ENTRY_BYTES, HIRCache
+from repro.memory.addressing import PageSetGeometry
+
+
+def make_hir(entries=1024, assoc=8, set_size=16):
+    return HIRCache(PageSetGeometry(set_size), entries=entries,
+                    associativity=assoc)
+
+
+class TestConstruction:
+    def test_paper_default_shape(self):
+        hir = make_hir()
+        assert hir.num_sets == 128
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            make_hir(entries=10, assoc=4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            make_hir(entries=24, assoc=8)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            make_hir(entries=0, assoc=8)
+
+
+class TestRecording:
+    def test_record_creates_entry(self):
+        hir = make_hir()
+        assert hir.record_hit(0x123)
+        assert hir.populated == 1
+
+    def test_counters_track_offsets(self):
+        hir = make_hir(set_size=4)
+        hir.record_hit(0)   # tag 0, offset 0
+        hir.record_hit(1)   # tag 0, offset 1
+        hir.record_hit(1)
+        payload = hir.transfer()
+        assert payload == [(0, [1, 2, 0, 0])]
+
+    def test_counters_saturate_at_two_bits(self):
+        hir = make_hir(set_size=4)
+        for _ in range(10):
+            hir.record_hit(0)
+        payload = hir.transfer()
+        assert payload[0][1][0] == COUNTER_MAX == 3
+
+    def test_way_conflict_drops_information(self):
+        hir = make_hir(entries=8, assoc=2, set_size=4)  # 4 sets
+        # Tags 0, 4, 8 all map to set 0; third tag conflicts.
+        assert hir.record_hit(0 * 4)
+        assert hir.record_hit(4 * 4)
+        assert not hir.record_hit(8 * 4)
+        assert hir.stats.conflicts == 1
+        assert hir.populated == 2
+
+    def test_existing_tag_never_conflicts(self):
+        hir = make_hir(entries=8, assoc=2, set_size=4)
+        hir.record_hit(0)
+        hir.record_hit(16)
+        assert hir.record_hit(0)  # already present: counter update only
+
+
+class TestTransfer:
+    def test_first_touch_order_preserved(self):
+        hir = make_hir(set_size=4)
+        for page in (40, 8, 20, 9):   # tags 10, 2, 5, 2
+            hir.record_hit(page)
+        tags = [tag for tag, _ in hir.transfer()]
+        assert tags == [10, 2, 5]
+
+    def test_transfer_flushes(self):
+        hir = make_hir()
+        hir.record_hit(1)
+        hir.transfer()
+        assert hir.populated == 0
+        assert hir.transfer() == []
+
+    def test_transfer_stats(self):
+        hir = make_hir(set_size=4)
+        hir.record_hit(0)
+        hir.record_hit(16)
+        hir.transfer()
+        hir.record_hit(0)
+        hir.transfer()
+        assert hir.stats.transfers == 2
+        assert hir.stats.entries_transferred == 3
+        assert hir.stats.mean_entries_per_transfer == pytest.approx(1.5)
+
+    def test_mean_entries_zero_before_any_transfer(self):
+        assert make_hir().stats.mean_entries_per_transfer == 0.0
+
+    def test_transfer_bytes_paper_sizing(self):
+        # 48-bit tag + 16 x 2-bit counters = 10 bytes per entry.
+        hir = make_hir()
+        assert ENTRY_BYTES == 10
+        assert hir.transfer_bytes(139) == 1390
+
+    def test_flush_clears_without_counting_transfer(self):
+        hir = make_hir()
+        hir.record_hit(5)
+        hir.flush()
+        assert hir.populated == 0
+        assert hir.stats.transfers == 0
+
+    def test_paper_storage_cost(self):
+        # 1024 entries x 10 B = 10 KB (Section V-C).
+        hir = make_hir()
+        assert hir.transfer_bytes(hir.entries) == 10240

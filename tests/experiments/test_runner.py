@@ -1,0 +1,95 @@
+"""Tests for the experiment runner."""
+
+import pytest
+
+from repro.core.hpe import HPEPolicy
+from repro.experiments.runner import (
+    POLICY_NAMES,
+    RunKey,
+    arithmetic_mean,
+    geometric_mean,
+    make_policy,
+    run_application,
+    run_matrix,
+)
+from repro.policies import (
+    ClockProPolicy,
+    IdealPolicy,
+    LRUPolicy,
+    RRIPPolicy,
+)
+from repro.workloads.suite import get_application
+
+
+class TestMakePolicy:
+    def test_every_name_constructs(self):
+        for name in POLICY_NAMES:
+            policy = make_policy(name, capacity=64)
+            assert policy is not None
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError):
+            make_policy("belady2", capacity=64)
+
+    def test_rrip_config_follows_pattern_type(self):
+        thrash = make_policy("rrip", 64, spec=get_application("HSD"))
+        regular = make_policy("rrip", 64, spec=get_application("HOT"))
+        assert thrash.config.insert_distant
+        assert thrash.config.delay_threshold == 128
+        assert not regular.config.insert_distant
+
+    def test_clock_pro_gets_capacity(self):
+        policy = make_policy("clock-pro", 500)
+        assert isinstance(policy, ClockProPolicy)
+        assert policy.capacity == 500
+
+    def test_types(self):
+        assert isinstance(make_policy("lru", 1), LRUPolicy)
+        assert isinstance(make_policy("ideal", 1), IdealPolicy)
+        assert isinstance(make_policy("hpe", 1), HPEPolicy)
+        assert isinstance(make_policy("rrip", 1), RRIPPolicy)
+
+
+class TestRunApplication:
+    def test_basic_run(self):
+        result = run_application("STN", "lru", 0.75, scale=0.5)
+        assert result.policy_name == "lru"
+        assert result.workload_name == "STN"
+        assert result.faults > 0
+        assert result.extras["rate"] == 0.75
+
+    def test_capacity_honours_rate(self):
+        result = run_application("HOT", "lru", 0.5, scale=0.5)
+        assert result.capacity_pages == result.footprint_pages // 2
+
+
+class TestRunMatrix:
+    def test_matrix_contents(self):
+        matrix = run_matrix(["lru", "ideal"], rates=[0.75],
+                            apps=["STN"], scale=0.5)
+        assert matrix.get("STN", "lru", 0.75).faults > 0
+        assert matrix.apps() == ["STN"]
+
+    def test_speedup_and_eviction_helpers(self):
+        matrix = run_matrix(["lru", "ideal"], rates=[0.75],
+                            apps=["STN"], scale=0.5)
+        assert matrix.speedup("STN", "ideal", "lru", 0.75) >= 1.0
+        assert matrix.eviction_ratio("STN", "lru", "ideal", 0.75) >= 1.0
+
+    def test_missing_key_raises(self):
+        matrix = run_matrix(["lru"], rates=[0.75], apps=["STN"], scale=0.5)
+        with pytest.raises(KeyError):
+            matrix.get("STN", "hpe", 0.75)
+
+
+class TestMeans:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+
+    def test_geometric_mean_ignores_non_positive(self):
+        assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)

@@ -1,0 +1,163 @@
+"""Unit tests for page/page-set address arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.addressing import (
+    AddressRegion,
+    PageSetGeometry,
+    is_power_of_two,
+    page_of_address,
+    pages_for_bytes,
+)
+
+
+class TestIsPowerOfTwo:
+    def test_accepts_powers(self):
+        for exponent in range(20):
+            assert is_power_of_two(1 << exponent)
+
+    def test_rejects_zero_and_negatives(self):
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(-4)
+
+    def test_rejects_non_powers(self):
+        for value in (3, 5, 6, 7, 12, 100, 1000):
+            assert not is_power_of_two(value)
+
+
+class TestPageSetGeometry:
+    def test_default_size_is_sixteen(self):
+        assert PageSetGeometry().page_set_size == 16
+
+    def test_shift_matches_paper_example(self):
+        # "if the page set size is 16, the tag is calculated by shifting
+        # the page address right by 4 bits"
+        assert PageSetGeometry(16).shift == 4
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            PageSetGeometry(12)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            PageSetGeometry(0)
+
+    def test_paper_page_set_example(self):
+        # Page set 0x8000 with size 16 covers pages 0x80000 .. 0x8000f.
+        geometry = PageSetGeometry(16)
+        assert geometry.tag_of(0x80000) == 0x8000
+        assert geometry.tag_of(0x8000F) == 0x8000
+        assert geometry.tag_of(0x80010) == 0x8001
+
+    def test_offsets_cover_the_set(self):
+        geometry = PageSetGeometry(16)
+        offsets = [geometry.offset_of(page) for page in range(32, 48)]
+        assert offsets == list(range(16))
+
+    def test_split_combines_tag_and_offset(self):
+        geometry = PageSetGeometry(16)
+        assert geometry.split(0x1234) == (geometry.tag_of(0x1234),
+                                          geometry.offset_of(0x1234))
+
+    def test_first_page_of_roundtrip(self):
+        geometry = PageSetGeometry(8)
+        assert geometry.first_page_of(5) == 40
+        assert geometry.tag_of(geometry.first_page_of(5)) == 5
+
+    def test_pages_of_range(self):
+        geometry = PageSetGeometry(4)
+        assert list(geometry.pages_of(3)) == [12, 13, 14, 15]
+
+    @given(page=st.integers(min_value=0, max_value=2**48),
+           size_log=st.integers(min_value=0, max_value=8))
+    def test_tag_offset_reconstruct_page(self, page, size_log):
+        geometry = PageSetGeometry(1 << size_log)
+        tag, offset = geometry.split(page)
+        assert tag * geometry.page_set_size + offset == page
+        assert 0 <= offset < geometry.page_set_size
+
+    @given(page=st.integers(min_value=0, max_value=2**40))
+    def test_consecutive_pages_share_or_advance_tag(self, page):
+        geometry = PageSetGeometry(16)
+        tag_a, tag_b = geometry.tag_of(page), geometry.tag_of(page + 1)
+        assert tag_b in (tag_a, tag_a + 1)
+
+
+class TestPageOfAddress:
+    def test_byte_zero_is_page_zero(self):
+        assert page_of_address(0) == 0
+
+    def test_last_byte_of_first_page(self):
+        assert page_of_address(4095) == 0
+
+    def test_first_byte_of_second_page(self):
+        assert page_of_address(4096) == 1
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            page_of_address(-1)
+
+    def test_rejects_non_power_page_size(self):
+        with pytest.raises(ValueError):
+            page_of_address(0, page_size=3000)
+
+
+class TestPagesForBytes:
+    def test_zero_bytes(self):
+        assert pages_for_bytes(0) == 0
+
+    def test_exact_page(self):
+        assert pages_for_bytes(4096) == 1
+
+    def test_rounds_up(self):
+        assert pages_for_bytes(4097) == 2
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            pages_for_bytes(-5)
+
+    def test_megabyte(self):
+        assert pages_for_bytes(1 << 20) == 256
+
+
+class TestAddressRegion:
+    def test_length(self):
+        assert len(AddressRegion(10, 20)) == 10
+
+    def test_contains(self):
+        region = AddressRegion(10, 20)
+        assert 10 in region
+        assert 19 in region
+        assert 20 not in region
+        assert 9 not in region
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            AddressRegion(20, 10)
+
+    def test_rejects_negative_start(self):
+        with pytest.raises(ValueError):
+            AddressRegion(-1, 5)
+
+    def test_pages_iterates_range(self):
+        assert list(AddressRegion(3, 6).pages()) == [3, 4, 5]
+
+    def test_split_covers_whole_region(self):
+        region = AddressRegion(0, 10)
+        parts = region.split(3)
+        covered = [page for part in parts for page in part.pages()]
+        assert covered == list(range(10))
+
+    def test_split_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            AddressRegion(0, 10).split(0)
+
+    @given(start=st.integers(0, 1000), size=st.integers(1, 1000),
+           parts=st.integers(1, 17))
+    def test_split_is_partition(self, start, size, parts):
+        region = AddressRegion(start, start + size)
+        pieces = region.split(parts)
+        covered = [page for piece in pieces for page in piece.pages()]
+        assert covered == list(region.pages())
+        assert all(len(piece) > 0 for piece in pieces)

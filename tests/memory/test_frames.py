@@ -1,0 +1,116 @@
+"""Unit tests for the physical frame pool."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.frames import CapacityError, FramePool
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            FramePool(0)
+
+    def test_rejects_negative_capacity(self):
+        with pytest.raises(ValueError):
+            FramePool(-3)
+
+    def test_starts_empty(self):
+        pool = FramePool(4)
+        assert pool.used == 0
+        assert pool.free == 4
+        assert not pool.is_full()
+
+
+class TestMapping:
+    def test_map_returns_distinct_frames(self):
+        pool = FramePool(4)
+        frames = {pool.map_page(page) for page in range(4)}
+        assert len(frames) == 4
+        assert frames == set(range(4))
+
+    def test_residency_tracking(self):
+        pool = FramePool(2)
+        pool.map_page(100)
+        assert pool.is_resident(100)
+        assert 100 in pool
+        assert not pool.is_resident(200)
+
+    def test_frame_of_resident_page(self):
+        pool = FramePool(2)
+        frame = pool.map_page(7)
+        assert pool.frame_of(7) == frame
+
+    def test_frame_of_absent_page_is_none(self):
+        assert FramePool(2).frame_of(9) is None
+
+    def test_double_map_rejected(self):
+        pool = FramePool(2)
+        pool.map_page(1)
+        with pytest.raises(ValueError):
+            pool.map_page(1)
+
+    def test_capacity_error_when_full(self):
+        pool = FramePool(1)
+        pool.map_page(1)
+        assert pool.is_full()
+        with pytest.raises(CapacityError):
+            pool.map_page(2)
+
+
+class TestUnmapping:
+    def test_unmap_frees_frame(self):
+        pool = FramePool(1)
+        pool.map_page(1)
+        pool.unmap_page(1)
+        assert pool.free == 1
+        assert not pool.is_resident(1)
+
+    def test_frame_is_reusable_after_unmap(self):
+        pool = FramePool(1)
+        frame = pool.map_page(1)
+        pool.unmap_page(1)
+        assert pool.map_page(2) == frame
+
+    def test_unmap_returns_frame_number(self):
+        pool = FramePool(3)
+        frame = pool.map_page(42)
+        assert pool.unmap_page(42) == frame
+
+    def test_unmap_absent_page_raises(self):
+        with pytest.raises(KeyError):
+            FramePool(2).unmap_page(5)
+
+    def test_resident_pages_iteration(self):
+        pool = FramePool(3)
+        for page in (10, 20, 30):
+            pool.map_page(page)
+        pool.unmap_page(20)
+        assert sorted(pool.resident_pages()) == [10, 30]
+
+    def test_len_matches_used(self):
+        pool = FramePool(3)
+        pool.map_page(1)
+        pool.map_page(2)
+        assert len(pool) == pool.used == 2
+
+
+class TestInvariants:
+    @given(st.lists(st.tuples(st.booleans(), st.integers(0, 31)),
+                    max_size=200))
+    def test_used_plus_free_equals_capacity(self, operations):
+        pool = FramePool(8)
+        for is_map, page in operations:
+            if is_map and not pool.is_resident(page) and not pool.is_full():
+                pool.map_page(page)
+            elif not is_map and pool.is_resident(page):
+                pool.unmap_page(page)
+            assert pool.used + pool.free == pool.capacity
+            assert 0 <= pool.used <= pool.capacity
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=100,
+                    unique=True))
+    def test_frames_never_shared(self, pages):
+        pool = FramePool(len(pages))
+        frames = [pool.map_page(page) for page in pages]
+        assert len(set(frames)) == len(frames)

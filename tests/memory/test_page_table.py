@@ -1,0 +1,75 @@
+"""Unit tests for the single-level page table."""
+
+import pytest
+
+from repro.memory.page_table import PageTable
+
+
+class TestLookup:
+    def test_unmapped_page_misses(self):
+        assert PageTable().lookup(5) is None
+
+    def test_installed_page_hits(self):
+        table = PageTable()
+        table.install(5, frame=2, fault_number=1)
+        entry = table.lookup(5)
+        assert entry is not None
+        assert entry.frame == 2
+        assert entry.faulted_at == 1
+
+    def test_invalidated_page_misses(self):
+        table = PageTable()
+        table.install(5, frame=2)
+        table.invalidate(5)
+        assert table.lookup(5) is None
+
+    def test_reinstall_after_invalidate(self):
+        table = PageTable()
+        table.install(5, frame=2, fault_number=1)
+        table.invalidate(5)
+        table.install(5, frame=7, fault_number=9)
+        entry = table.lookup(5)
+        assert entry is not None
+        assert entry.frame == 7
+        assert entry.faulted_at == 9
+
+
+class TestInvalidate:
+    def test_invalidate_unmapped_raises(self):
+        with pytest.raises(KeyError):
+            PageTable().invalidate(3)
+
+    def test_double_invalidate_raises(self):
+        table = PageTable()
+        table.install(3, frame=0)
+        table.invalidate(3)
+        with pytest.raises(KeyError):
+            table.invalidate(3)
+
+
+class TestBookkeeping:
+    def test_is_mapped(self):
+        table = PageTable()
+        assert not table.is_mapped(1)
+        table.install(1, frame=0)
+        assert table.is_mapped(1)
+        assert 1 in table
+
+    def test_len_counts_valid_only(self):
+        table = PageTable()
+        table.install(1, frame=0)
+        table.install(2, frame=1)
+        table.invalidate(1)
+        assert len(table) == 1
+
+    def test_valid_pages(self):
+        table = PageTable()
+        for page in (1, 2, 3):
+            table.install(page, frame=page)
+        table.invalidate(2)
+        assert sorted(table.valid_pages()) == [1, 3]
+
+    def test_walk_hits_counter_starts_at_zero(self):
+        table = PageTable()
+        entry = table.install(1, frame=0)
+        assert entry.walk_hits == 0

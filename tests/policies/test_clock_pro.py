@@ -1,0 +1,111 @@
+"""Unit tests for CLOCK-Pro."""
+
+import pytest
+
+from repro.policies.base import PolicyError
+from repro.policies.clock_pro import ClockProPolicy
+
+
+class TestConstruction:
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ValueError):
+            ClockProPolicy(capacity=0)
+
+    def test_rejects_zero_mc(self):
+        with pytest.raises(ValueError):
+            ClockProPolicy(capacity=10, m_c=0)
+
+    def test_mc_clamped_to_capacity(self):
+        policy = ClockProPolicy(capacity=10, m_c=128)
+        assert policy.m_c == 9
+        assert policy.m_h == 1
+
+    def test_paper_default_mc(self):
+        policy = ClockProPolicy(capacity=1000)
+        assert policy.m_c == 128
+        assert policy.m_h == 872
+
+
+class TestBasicOperation:
+    def test_empty_raises(self):
+        with pytest.raises(PolicyError):
+            ClockProPolicy(capacity=4).select_victim()
+
+    def test_new_pages_are_resident_cold(self):
+        policy = ClockProPolicy(capacity=4)
+        policy.on_page_in(1, 1)
+        assert policy.n_cold == 1
+        assert policy.n_hot == 0
+        assert policy.resident_count() == 1
+
+    def test_unreferenced_cold_page_is_evicted(self):
+        policy = ClockProPolicy(capacity=4)
+        for page in (1, 2, 3, 4):
+            policy.on_page_in(page, page)
+        victim = policy.select_victim()
+        assert victim in (1, 2, 3, 4)
+        assert policy.resident_count() == 3
+
+    def test_referenced_cold_page_in_test_is_promoted_not_evicted(self):
+        policy = ClockProPolicy(capacity=4)
+        for page in (1, 2):
+            policy.on_page_in(page, page)
+        policy.on_walk_hit(1)
+        victim = policy.select_victim()
+        assert victim == 2
+        assert policy.n_hot >= 1  # page 1 became hot
+
+    def test_refault_during_test_period_promotes_to_hot(self):
+        policy = ClockProPolicy(capacity=4)
+        for page in (1, 2, 3, 4):
+            policy.on_page_in(page, page)
+        victim = policy.select_victim()
+        hot_before = policy.n_hot
+        policy.on_page_in(victim, 10)  # fault again during test period
+        assert policy.n_hot == hot_before + 1
+        assert policy.test_promotions == 1
+
+    def test_victims_unique(self):
+        policy = ClockProPolicy(capacity=16)
+        for page in range(16):
+            policy.on_page_in(page, page)
+        victims = [policy.select_victim() for _ in range(8)]
+        assert len(set(victims)) == len(victims)
+
+    def test_resident_count_tracks_evictions(self):
+        policy = ClockProPolicy(capacity=8)
+        for page in range(8):
+            policy.on_page_in(page, page)
+        for _ in range(3):
+            policy.select_victim()
+        assert policy.resident_count() == 5
+
+    def test_hit_on_nonresident_metadata_ignored(self):
+        policy = ClockProPolicy(capacity=2)
+        policy.on_page_in(1, 1)
+        policy.on_page_in(2, 2)
+        victim = policy.select_victim()
+        policy.on_walk_hit(victim)  # stale hit on evicted page: no crash
+        assert policy.resident_count() == 1
+
+
+class TestThrashResistance:
+    def test_survives_long_cyclic_workload(self):
+        """Driver-style loop: CLOCK-Pro must keep functioning under thrash."""
+        capacity = 32
+        policy = ClockProPolicy(capacity=capacity, m_c=8)
+        resident = set()
+        fault = 0
+        for _ in range(4):
+            for page in range(48):
+                if page in resident:
+                    policy.on_walk_hit(page)
+                    continue
+                fault += 1
+                if len(resident) >= capacity:
+                    victim = policy.select_victim()
+                    assert victim in resident
+                    resident.discard(victim)
+                policy.on_page_in(page, fault)
+                resident.add(page)
+        assert policy.resident_count() == len(resident) == capacity

@@ -1,0 +1,87 @@
+"""Unit and property tests for the offline Belady MIN policy."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.policies.base import PolicyError
+from repro.policies.ideal import IdealPolicy
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lru import LRUPolicy
+
+
+def drive(policy, trace, capacity):
+    """Minimal demand-paging loop; returns (faults, evictions)."""
+    if policy.requires_future:
+        policy.prime_future(trace)
+    resident: set[int] = set()
+    faults = evictions = 0
+    for position, page in enumerate(trace):
+        policy.on_trace_position(position)
+        if page in resident:
+            policy.on_walk_hit(page)
+            continue
+        faults += 1
+        if len(resident) >= capacity:
+            victim = policy.select_victim()
+            assert victim in resident, "victim must be resident"
+            resident.discard(victim)
+            evictions += 1
+        policy.on_page_in(page, faults)
+        resident.add(page)
+    return faults, evictions
+
+
+class TestIdeal:
+    def test_unprimed_raises(self):
+        policy = IdealPolicy()
+        with pytest.raises(PolicyError):
+            policy.on_page_in(1, 1)
+
+    def test_empty_select_raises(self):
+        policy = IdealPolicy()
+        policy.prime_future([1, 2, 3])
+        with pytest.raises(PolicyError):
+            policy.select_victim()
+
+    def test_evicts_never_used_again_first(self):
+        trace = [1, 2, 3, 1, 2, 4]
+        policy = IdealPolicy()
+        faults, evictions = drive(policy, trace, capacity=3)
+        # MIN: fault on 1,2,3; at 4 evict 3 (never used again).
+        assert faults == 4
+        assert evictions == 1
+
+    def test_textbook_belady_sequence(self):
+        # Classic example: 3 frames, trace below gives 7 faults under MIN.
+        trace = [7, 0, 1, 2, 0, 3, 0, 4, 2, 3, 0, 3, 2]
+        faults, _ = drive(IdealPolicy(), trace, capacity=3)
+        assert faults == 7
+
+    def test_cyclic_thrash_lower_bound(self):
+        # Loop of N pages with capacity C: MIN faults = N + (N-C)*(iters-1).
+        n, c, iterations = 8, 6, 4
+        trace = list(range(n)) * iterations
+        faults, _ = drive(IdealPolicy(), trace, capacity=c)
+        assert faults == n + (n - c) * (iterations - 1)
+
+    @settings(max_examples=40, deadline=None)
+    @given(trace=st.lists(st.integers(0, 15), min_size=1, max_size=300),
+           capacity=st.integers(2, 12))
+    def test_never_worse_than_lru_or_fifo(self, trace, capacity):
+        ideal_faults, _ = drive(IdealPolicy(), trace, capacity)
+        lru_faults, _ = drive(LRUPolicy(), trace, capacity)
+        fifo_faults, _ = drive(FIFOPolicy(), trace, capacity)
+        assert ideal_faults <= lru_faults
+        assert ideal_faults <= fifo_faults
+
+    @settings(max_examples=30, deadline=None)
+    @given(trace=st.lists(st.integers(0, 20), min_size=1, max_size=200),
+           capacity=st.integers(1, 10))
+    def test_compulsory_faults_lower_bound(self, trace, capacity):
+        faults, _ = drive(IdealPolicy(), trace, capacity)
+        assert faults >= len(set(trace))
+
+    def test_deterministic(self):
+        trace = [3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9] * 5
+        runs = [drive(IdealPolicy(), trace, capacity=4) for _ in range(2)]
+        assert runs[0] == runs[1]

@@ -1,0 +1,56 @@
+"""Unit tests for LRU replacement."""
+
+import pytest
+
+from repro.policies.base import PolicyError
+from repro.policies.lru import LRUPolicy
+
+
+class TestLRU:
+    def test_empty_chain_raises(self):
+        with pytest.raises(PolicyError):
+            LRUPolicy().select_victim()
+
+    def test_evicts_in_insertion_order_without_hits(self):
+        policy = LRUPolicy()
+        for page in (1, 2, 3):
+            policy.on_page_in(page, page)
+        assert policy.select_victim() == 1
+        assert policy.select_victim() == 2
+        assert policy.select_victim() == 3
+
+    def test_walk_hit_refreshes_recency(self):
+        policy = LRUPolicy()
+        for page in (1, 2, 3):
+            policy.on_page_in(page, page)
+        policy.on_walk_hit(1)
+        assert policy.select_victim() == 2
+
+    def test_walk_hit_on_absent_page_is_noop(self):
+        policy = LRUPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_walk_hit(42)
+        assert policy.select_victim() == 1
+
+    def test_victim_is_forgotten(self):
+        policy = LRUPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_page_in(2, 2)
+        policy.select_victim()
+        assert policy.resident_count() == 1
+
+    def test_refault_moves_to_mru(self):
+        policy = LRUPolicy()
+        for page in (1, 2):
+            policy.on_page_in(page, page)
+        policy.on_page_in(1, 3)  # re-fault: 1 becomes most recent
+        assert policy.select_victim() == 2
+
+    def test_uses_walk_hits_flag(self):
+        assert LRUPolicy.uses_walk_hits is True
+
+    def test_resident_count(self):
+        policy = LRUPolicy()
+        for page in range(5):
+            policy.on_page_in(page, page)
+        assert policy.resident_count() == 5

@@ -1,0 +1,126 @@
+"""Unit tests for the Random, FIFO and LFU baselines."""
+
+import pytest
+
+from repro.policies.base import PolicyError
+from repro.policies.fifo import FIFOPolicy
+from repro.policies.lfu import LFUPolicy
+from repro.policies.random_policy import RandomPolicy
+
+
+class TestRandom:
+    def test_empty_raises(self):
+        with pytest.raises(PolicyError):
+            RandomPolicy().select_victim()
+
+    def test_deterministic_with_seed(self):
+        def run(seed):
+            policy = RandomPolicy(seed=seed)
+            for page in range(10):
+                policy.on_page_in(page, page)
+            return [policy.select_victim() for _ in range(10)]
+
+        assert run(1) == run(1)
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            policy = RandomPolicy(seed=seed)
+            for page in range(50):
+                policy.on_page_in(page, page)
+            return [policy.select_victim() for _ in range(50)]
+
+        assert run(1) != run(2)
+
+    def test_victims_are_resident_and_unique(self):
+        policy = RandomPolicy(seed=3)
+        pages = set(range(20))
+        for page in pages:
+            policy.on_page_in(page, page)
+        victims = [policy.select_victim() for _ in range(20)]
+        assert set(victims) == pages
+
+    def test_duplicate_page_in_ignored(self):
+        policy = RandomPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_page_in(1, 2)
+        assert policy.resident_count() == 1
+
+    def test_resident_count_drops_on_eviction(self):
+        policy = RandomPolicy()
+        for page in range(4):
+            policy.on_page_in(page, page)
+        policy.select_victim()
+        assert policy.resident_count() == 3
+
+
+class TestFIFO:
+    def test_empty_raises(self):
+        with pytest.raises(PolicyError):
+            FIFOPolicy().select_victim()
+
+    def test_arrival_order(self):
+        policy = FIFOPolicy()
+        for page in (5, 3, 9):
+            policy.on_page_in(page, page)
+        assert [policy.select_victim() for _ in range(3)] == [5, 3, 9]
+
+    def test_hits_do_not_reorder(self):
+        policy = FIFOPolicy()
+        for page in (1, 2):
+            policy.on_page_in(page, page)
+        policy.on_walk_hit(1)
+        assert policy.select_victim() == 1
+
+    def test_refault_keeps_original_position(self):
+        policy = FIFOPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_page_in(2, 2)
+        policy.on_page_in(1, 3)  # still queued at original slot
+        assert policy.select_victim() == 1
+
+
+class TestLFU:
+    def test_empty_raises(self):
+        with pytest.raises(PolicyError):
+            LFUPolicy().select_victim()
+
+    def test_evicts_least_frequent(self):
+        policy = LFUPolicy()
+        for page in (1, 2, 3):
+            policy.on_page_in(page, page)
+        policy.on_walk_hit(1)
+        policy.on_walk_hit(1)
+        policy.on_walk_hit(2)
+        assert policy.select_victim() == 3
+
+    def test_ties_break_by_recency(self):
+        policy = LFUPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_page_in(2, 2)
+        # Both have count 1; 1 is least recently touched.
+        assert policy.select_victim() == 1
+
+    def test_hit_on_absent_page_ignored(self):
+        policy = LFUPolicy()
+        policy.on_page_in(1, 1)
+        policy.on_walk_hit(99)
+        assert policy.select_victim() == 1
+
+    def test_refault_resets_count(self):
+        policy = LFUPolicy()
+        policy.on_page_in(1, 1)
+        for _ in range(5):
+            policy.on_walk_hit(1)
+        policy.on_page_in(2, 2)
+        policy.select_victim()  # 2 (count 1 vs 6)
+        policy.on_page_in(1, 3)  # re-fault resets 1's count to 1
+        policy.on_page_in(3, 4)
+        policy.on_walk_hit(3)
+        assert policy.select_victim() == 1
+
+    def test_victims_unique(self):
+        policy = LFUPolicy()
+        for page in range(10):
+            policy.on_page_in(page, page)
+        victims = {policy.select_victim() for _ in range(10)}
+        assert victims == set(range(10))

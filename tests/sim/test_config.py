@@ -1,0 +1,43 @@
+"""Tests for the Table I configuration object."""
+
+import pytest
+
+from repro.sim.config import GPUConfig
+
+
+class TestGPUConfig:
+    def test_paper_defaults(self):
+        config = GPUConfig()
+        assert config.num_sms == 15
+        assert config.clock_ghz == 1.4
+        assert config.l1_tlb.entries == 128
+        assert config.l1_tlb.latency_cycles == 1
+        assert config.l2_tlb.entries == 512
+        assert config.l2_tlb.associativity == 16
+        assert config.l2_tlb.latency_cycles == 10
+        assert config.walk_latency_cycles == 8
+        assert config.pcie.bandwidth_gbs == 16.0
+        assert config.pcie.fault_service_us == 20.0
+
+    def test_total_warps(self):
+        assert GPUConfig(num_sms=4, warps_per_sm=8).total_warps == 32
+
+    def test_with_walk_latency_copy(self):
+        base = GPUConfig()
+        modified = base.with_walk_latency(20)
+        assert modified.walk_latency_cycles == 20
+        assert base.walk_latency_cycles == 8
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            GPUConfig(num_sms=0)
+        with pytest.raises(ValueError):
+            GPUConfig(warps_per_sm=0)
+        with pytest.raises(ValueError):
+            GPUConfig(clock_ghz=0)
+        with pytest.raises(ValueError):
+            GPUConfig(instructions_per_access=0)
+        with pytest.raises(ValueError):
+            GPUConfig(memory_latency_cycles=-1)
+        with pytest.raises(ValueError):
+            GPUConfig(walk_latency_cycles=-1)

@@ -1,0 +1,86 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        assert parser.parse_args(["list"]).command == "list"
+        assert parser.parse_args(["figure", "10"]).id == "10"
+        assert parser.parse_args(["table", "2"]).id == "2"
+        args = parser.parse_args(["run", "--app", "HSD", "--rate", "0.5"])
+        assert args.app == "HSD" and args.rate == 0.5
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure", "99"])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--app", "HSD",
+                                       "--policy", "magic"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "HSD" in out and "hybridsort" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "--app", "STN", "--policy", "lru",
+                     "--scale", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "faults" in out and "IPC" in out
+
+    def test_table1(self, capsys):
+        assert main(["table", "1"]) == 0
+        assert "16 GB/s" in capsys.readouterr().out
+
+    def test_figure_with_subset(self, capsys):
+        assert main(["figure", "9", "--apps", "HOT", "--scale", "0.5"]) == 0
+        assert "regular" in capsys.readouterr().out
+
+    def test_ablation_subset(self, capsys):
+        assert main(["ablation", "--apps", "STN",
+                     "--variants", "full,always-lru", "--scale", "0.5"]) == 0
+        assert "always-lru" in capsys.readouterr().out
+
+    def test_overhead_search(self, capsys):
+        assert main(["overhead", "search"]) == 0
+        assert "comparisons" in capsys.readouterr().out
+
+
+class TestTraceAndAnalyze:
+    def test_trace_dump_and_analyze_file(self, tmp_path, capsys):
+        out = tmp_path / "stn.trace"
+        assert main(["trace", "--app", "STN", "--out", str(out),
+                     "--scale", "0.5"]) == 0
+        capsys.readouterr()
+        assert main(["analyze", "--file", str(out),
+                     "--capacities", "100,200"]) == 0
+        text = capsys.readouterr().out
+        assert "inferred pattern : II" in text
+        assert "miss curves" in text
+
+    def test_analyze_app_directly(self, capsys):
+        assert main(["analyze", "--app", "HOT", "--scale", "0.5"]) == 0
+        text = capsys.readouterr().out
+        assert "reuse fraction   : 0.0%" in text
+        assert "inferred pattern : I" in text
+
+    def test_analyze_requires_source(self):
+        with pytest.raises(SystemExit):
+            main(["analyze"])
+
+    def test_sensitivity_prefetch(self, capsys):
+        assert main(["sensitivity", "prefetch", "--apps", "STN",
+                     "--scale", "0.5"]) == 0
+        assert "prefetch degree" in capsys.readouterr().out

@@ -1,0 +1,38 @@
+"""Smoke tests: the shipped examples must run and tell their stories."""
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "HPE speedup over LRU" in out
+        speedup = float(out.split("HPE speedup over LRU :")[1].split("x")[0])
+        assert speedup > 1.5
+
+    def test_custom_workload(self, capsys):
+        out = run_example("custom_workload.py", capsys)
+        assert "classified" in out
+        assert "strategy timeline" in out
+        assert "HIR transfers" in out
+
+    @pytest.mark.slow
+    def test_policy_shootout(self, capsys):
+        out = run_example("policy_shootout.py", capsys)
+        assert "Evictions normalised to Ideal" in out
+
+    @pytest.mark.slow
+    def test_oversubscription_sweep(self, capsys):
+        out = run_example("oversubscription_sweep.py", capsys)
+        assert "HPE speedup" in out

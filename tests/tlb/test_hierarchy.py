@@ -1,0 +1,84 @@
+"""Unit tests for the two-level TLB hierarchy."""
+
+import pytest
+
+from repro.tlb.hierarchy import TLBHierarchy, TranslationLevel
+from repro.tlb.tlb import TLBConfig
+
+
+def make_hierarchy(num_sms=2):
+    return TLBHierarchy(
+        num_sms=num_sms,
+        l1_config=TLBConfig(entries=4, associativity=4, latency_cycles=1),
+        l2_config=TLBConfig(entries=8, associativity=8, latency_cycles=10),
+    )
+
+
+class TestLookupPath:
+    def test_rejects_zero_sms(self):
+        with pytest.raises(ValueError):
+            make_hierarchy(num_sms=0)
+
+    def test_cold_lookup_reaches_page_table(self):
+        hierarchy = make_hierarchy()
+        result = hierarchy.lookup(0, 5)
+        assert result.level is TranslationLevel.PAGE_TABLE
+        assert result.latency_cycles == 11  # L1 (1) + L2 (10)
+
+    def test_fill_then_l1_hit(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0, 5)
+        result = hierarchy.lookup(0, 5)
+        assert result.level is TranslationLevel.L1_TLB
+        assert result.latency_cycles == 1
+
+    def test_other_sm_hits_in_l2(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0, 5)
+        result = hierarchy.lookup(1, 5)
+        assert result.level is TranslationLevel.L2_TLB
+        assert result.latency_cycles == 11
+
+    def test_l2_hit_refills_l1(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0, 5)
+        hierarchy.lookup(1, 5)          # L2 hit refills SM 1's L1
+        result = hierarchy.lookup(1, 5)
+        assert result.level is TranslationLevel.L1_TLB
+
+
+class TestShootdown:
+    def test_shootdown_removes_everywhere(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0, 5)
+        hierarchy.lookup(1, 5)  # now in L1(0), L1(1), L2
+        removed = hierarchy.shootdown(5)
+        assert removed == 3
+        assert hierarchy.lookup(0, 5).level is TranslationLevel.PAGE_TABLE
+        assert hierarchy.lookup(1, 5).level is TranslationLevel.PAGE_TABLE
+
+    def test_shootdown_absent_page(self):
+        assert make_hierarchy().shootdown(99) == 0
+
+    def test_flush(self):
+        hierarchy = make_hierarchy()
+        for page in range(3):
+            hierarchy.fill(0, page)
+        hierarchy.flush()
+        for page in range(3):
+            assert hierarchy.lookup(0, page).level is TranslationLevel.PAGE_TABLE
+
+
+class TestStats:
+    def test_total_misses_counts_l2_misses_only(self):
+        hierarchy = make_hierarchy()
+        hierarchy.lookup(0, 1)
+        hierarchy.lookup(0, 2)
+        assert hierarchy.total_misses == 2
+
+    def test_total_hits_aggregates_levels(self):
+        hierarchy = make_hierarchy()
+        hierarchy.fill(0, 1)
+        hierarchy.lookup(0, 1)  # L1 hit
+        hierarchy.lookup(1, 1)  # L2 hit
+        assert hierarchy.total_hits == 2

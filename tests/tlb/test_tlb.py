@@ -1,0 +1,125 @@
+"""Unit tests for the set-associative TLB."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.tlb.tlb import TLB, TLBConfig
+
+
+class TestConfigValidation:
+    def test_rejects_zero_entries(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0, associativity=1)
+
+    def test_rejects_assoc_above_entries(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=4, associativity=8)
+
+    def test_rejects_non_multiple(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=10, associativity=4)
+
+    def test_rejects_non_power_of_two_sets(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=12, associativity=4)  # 3 sets
+
+    def test_rejects_negative_latency(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=4, associativity=4, latency_cycles=-1)
+
+    def test_num_sets(self):
+        assert TLBConfig(entries=512, associativity=16).num_sets == 32
+
+    def test_paper_l1_config_valid(self):
+        config = TLBConfig(entries=128, associativity=128, latency_cycles=1)
+        assert config.num_sets == 1
+
+    def test_paper_l2_config_valid(self):
+        config = TLBConfig(entries=512, associativity=16, latency_cycles=10)
+        assert config.num_sets == 32
+
+
+class TestLookupInsert:
+    def _tlb(self, entries=8, assoc=2):
+        return TLB(TLBConfig(entries=entries, associativity=assoc))
+
+    def test_miss_on_empty(self):
+        tlb = self._tlb()
+        assert not tlb.lookup(1)
+        assert tlb.stats.misses == 1
+
+    def test_hit_after_insert(self):
+        tlb = self._tlb()
+        tlb.insert(1)
+        assert tlb.lookup(1)
+        assert tlb.stats.hits == 1
+
+    def test_lru_eviction_within_set(self):
+        tlb = self._tlb(entries=4, assoc=2)  # 2 sets
+        # Pages 0, 2, 4 all map to set 0 (page & 1 == 0).
+        tlb.insert(0)
+        tlb.insert(2)
+        tlb.insert(4)  # evicts 0 (LRU)
+        assert 0 not in tlb
+        assert 2 in tlb and 4 in tlb
+        assert tlb.stats.evictions == 1
+
+    def test_lookup_refreshes_lru_order(self):
+        tlb = self._tlb(entries=4, assoc=2)
+        tlb.insert(0)
+        tlb.insert(2)
+        tlb.lookup(0)       # 0 becomes MRU
+        tlb.insert(4)       # evicts 2, not 0
+        assert 0 in tlb
+        assert 2 not in tlb
+
+    def test_reinsert_updates_value_not_size(self):
+        tlb = self._tlb()
+        tlb.insert(1, frame=5)
+        tlb.insert(1, frame=9)
+        assert len(tlb) == 1
+
+    def test_invalidate_present(self):
+        tlb = self._tlb()
+        tlb.insert(3)
+        assert tlb.invalidate(3)
+        assert 3 not in tlb
+        assert tlb.stats.shootdowns == 1
+
+    def test_invalidate_absent_returns_false(self):
+        tlb = self._tlb()
+        assert not tlb.invalidate(3)
+        assert tlb.stats.shootdowns == 0
+
+    def test_flush_clears_everything(self):
+        tlb = self._tlb()
+        for page in range(4):
+            tlb.insert(page)
+        tlb.flush()
+        assert len(tlb) == 0
+
+    def test_hit_rate(self):
+        tlb = self._tlb()
+        tlb.insert(1)
+        tlb.lookup(1)
+        tlb.lookup(2)
+        assert tlb.stats.hit_rate == pytest.approx(0.5)
+
+    def test_hit_rate_zero_when_untouched(self):
+        assert self._tlb().stats.hit_rate == 0.0
+
+    @given(st.lists(st.integers(0, 100), max_size=300))
+    def test_size_never_exceeds_capacity(self, pages):
+        tlb = TLB(TLBConfig(entries=16, associativity=4))
+        for page in pages:
+            if not tlb.lookup(page):
+                tlb.insert(page)
+            assert len(tlb) <= 16
+
+    @given(st.lists(st.integers(0, 15), max_size=100))
+    def test_fully_assoc_small_working_set_always_hits_after_warmup(self, pages):
+        tlb = TLB(TLBConfig(entries=16, associativity=16))
+        for page in set(pages):
+            tlb.insert(page)
+        for page in pages:
+            assert tlb.lookup(page)

@@ -1,0 +1,78 @@
+"""Unit tests for the page-table walker."""
+
+import pytest
+
+from repro.memory.page_table import PageTable
+from repro.tlb.walker import PageTableWalker
+
+
+@pytest.fixture
+def table():
+    table = PageTable()
+    table.install(1, frame=0)
+    table.install(2, frame=1)
+    return table
+
+
+class TestWalk:
+    def test_hit_on_mapped_page(self, table):
+        walker = PageTableWalker(table, walk_latency_cycles=8)
+        outcome = walker.walk(1)
+        assert outcome.hit
+        assert outcome.entry.frame == 0
+        assert outcome.latency_cycles == 8
+
+    def test_miss_on_unmapped_page(self, table):
+        walker = PageTableWalker(table)
+        outcome = walker.walk(99)
+        assert not outcome.hit
+        assert outcome.entry is None
+
+    def test_stats(self, table):
+        walker = PageTableWalker(table)
+        walker.walk(1)
+        walker.walk(99)
+        assert walker.walks == 2
+        assert walker.hits == 1
+        assert walker.faults == 1
+
+    def test_walk_hit_increments_pte_counter(self, table):
+        walker = PageTableWalker(table)
+        walker.walk(1)
+        walker.walk(1)
+        assert table.lookup(1).walk_hits == 2
+
+    def test_rejects_negative_latency(self, table):
+        with pytest.raises(ValueError):
+            PageTableWalker(table, walk_latency_cycles=-1)
+
+
+class TestListeners:
+    def test_listener_notified_on_hit_only(self, table):
+        walker = PageTableWalker(table)
+        seen = []
+        walker.add_hit_listener(seen.append)
+        walker.walk(1)
+        walker.walk(99)
+        assert seen == [1]
+
+    def test_multiple_listeners(self, table):
+        walker = PageTableWalker(table)
+        a, b = [], []
+        walker.add_hit_listener(a.append)
+        walker.add_hit_listener(b.append)
+        walker.walk(2)
+        assert a == b == [2]
+
+    def test_remove_listener(self, table):
+        walker = PageTableWalker(table)
+        seen = []
+        walker.add_hit_listener(seen.append)
+        walker.remove_hit_listener(seen.append)
+        walker.walk(1)
+        assert seen == []
+
+    def test_remove_unknown_listener_raises(self, table):
+        walker = PageTableWalker(table)
+        with pytest.raises(ValueError):
+            walker.remove_hit_listener(print)

@@ -1,0 +1,147 @@
+"""Unit tests for the UVM driver fault path."""
+
+import pytest
+
+from repro.memory.frames import FramePool
+from repro.memory.page_table import PageTable
+from repro.policies.lru import LRUPolicy
+from repro.tlb.hierarchy import TLBHierarchy
+from repro.tlb.tlb import TLBConfig
+from repro.uvm.driver import UVMDriver
+
+
+def make_driver(capacity=4, with_tlbs=False):
+    pool = FramePool(capacity)
+    table = PageTable()
+    hierarchy = None
+    if with_tlbs:
+        hierarchy = TLBHierarchy(
+            num_sms=1,
+            l1_config=TLBConfig(entries=4, associativity=4),
+            l2_config=TLBConfig(entries=8, associativity=8),
+        )
+    driver = UVMDriver(pool, table, LRUPolicy(), tlb_hierarchy=hierarchy)
+    return driver, pool, table, hierarchy
+
+
+class TestFaultHandling:
+    def test_fault_migrates_page(self):
+        driver, pool, table, _ = make_driver()
+        outcome = driver.handle_fault(5)
+        assert pool.is_resident(5)
+        assert table.is_mapped(5)
+        assert outcome.evicted_page is None
+        assert outcome.bytes_transferred == 4096
+
+    def test_eviction_when_full(self):
+        driver, pool, table, _ = make_driver(capacity=2)
+        driver.handle_fault(1)
+        driver.handle_fault(2)
+        outcome = driver.handle_fault(3)
+        assert outcome.evicted_page == 1  # LRU
+        assert not pool.is_resident(1)
+        assert not table.is_mapped(1)
+        assert pool.is_resident(3)
+        assert outcome.bytes_transferred == 8192  # page out + page in
+
+    def test_residency_never_exceeds_capacity(self):
+        driver, pool, _, _ = make_driver(capacity=3)
+        for page in range(10):
+            driver.handle_fault(page)
+        assert pool.used == 3
+
+    def test_tlb_shootdown_on_eviction(self):
+        driver, _, _, hierarchy = make_driver(capacity=1, with_tlbs=True)
+        driver.handle_fault(1)
+        hierarchy.fill(0, 1)
+        driver.handle_fault(2)   # evicts page 1
+        from repro.tlb.hierarchy import TranslationLevel
+        assert hierarchy.lookup(0, 1).level is TranslationLevel.PAGE_TABLE
+
+
+class TestStats:
+    def test_compulsory_vs_capacity_faults(self):
+        driver, _, _, _ = make_driver(capacity=1)
+        driver.handle_fault(1)
+        driver.handle_fault(2)   # evicts 1
+        driver.handle_fault(1)   # refault: capacity fault
+        assert driver.stats.compulsory_faults == 2
+        assert driver.stats.capacity_faults == 1
+        assert driver.stats.refaults == 1
+        assert driver.stats.faults == 3
+
+    def test_byte_accounting(self):
+        driver, _, _, _ = make_driver(capacity=1)
+        driver.handle_fault(1)
+        driver.handle_fault(2)
+        assert driver.stats.bytes_migrated_in == 8192
+        assert driver.stats.bytes_evicted_out == 4096
+
+    def test_eviction_count(self):
+        driver, _, _, _ = make_driver(capacity=2)
+        for page in range(5):
+            driver.handle_fault(page)
+        assert driver.stats.evictions == 3
+
+    def test_fault_numbers_monotonic(self):
+        driver, _, _, table = make_driver(capacity=4)
+        driver.handle_fault(1)
+        driver.handle_fault(2)
+        assert driver.page_table.lookup(2).faulted_at == 2
+
+
+class TestPrefetching:
+    def test_degree_validation(self):
+        from repro.memory.frames import FramePool
+        from repro.memory.page_table import PageTable
+        from repro.policies.lru import LRUPolicy
+        with pytest.raises(ValueError):
+            UVMDriver(FramePool(2), PageTable(), LRUPolicy(),
+                      prefetch_degree=-1)
+
+    def _driver(self, capacity, degree):
+        from repro.memory.frames import FramePool
+        from repro.memory.page_table import PageTable
+        from repro.policies.lru import LRUPolicy
+        pool = FramePool(capacity)
+        driver = UVMDriver(pool, PageTable(), LRUPolicy(),
+                           prefetch_degree=degree)
+        return driver, pool
+
+    def test_prefetch_pulls_in_neighbours(self):
+        driver, pool = self._driver(capacity=8, degree=3)
+        outcome = driver.handle_fault(10)
+        assert pool.is_resident(10)
+        for neighbour in (11, 12, 13):
+            assert pool.is_resident(neighbour)
+        assert driver.stats.prefetches == 3
+        assert outcome.bytes_transferred == 4 * 4096
+
+    def test_prefetch_skips_resident_neighbours(self):
+        driver, pool = self._driver(capacity=8, degree=2)
+        driver.handle_fault(11)  # brings in 11, 12, 13
+        driver.stats.prefetches = 0
+        driver.handle_fault(10)  # 11 and 12 already resident
+        assert driver.stats.prefetches == 0
+
+    def test_prefetched_pages_do_not_fault_later(self):
+        driver, pool = self._driver(capacity=8, degree=3)
+        driver.handle_fault(0)
+        faults_before = driver.stats.faults
+        # Pages 1-3 are resident; touching them needs no fault.
+        assert pool.is_resident(1)
+        assert driver.stats.faults == faults_before
+
+    def test_prefetch_evicts_under_pressure(self):
+        driver, pool = self._driver(capacity=2, degree=1)
+        driver.handle_fault(0)   # 0 + prefetch 1 fill memory
+        driver.handle_fault(10)  # must evict for 10, then for prefetch 11
+        assert pool.used == 2
+        assert driver.stats.evictions == 2
+
+    def test_sequential_stream_faults_drop_by_degree(self):
+        driver, _ = self._driver(capacity=64, degree=3)
+        for page in range(32):
+            if not driver.frame_pool.is_resident(page):
+                driver.handle_fault(page)
+        assert driver.stats.faults == 8  # one fault per 4 pages

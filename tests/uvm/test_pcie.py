@@ -1,0 +1,40 @@
+"""Unit tests for the PCIe cost model."""
+
+import pytest
+
+from repro.uvm.pcie import PCIeLink
+
+
+class TestPCIeLink:
+    def test_paper_fault_service_cycles(self):
+        # 20 us at 1.4 GHz = 28,000 cycles.
+        assert PCIeLink().fault_service_cycles == 28000
+
+    def test_transfer_cycles_for_page(self):
+        link = PCIeLink()
+        # 4 KB at 16 GB/s = 256 ns = 358.4 cycles at 1.4 GHz.
+        assert link.transfer_cycles(4096) == 358
+
+    def test_zero_bytes_free(self):
+        assert PCIeLink().transfer_cycles(0) == 0
+
+    def test_transfer_us(self):
+        assert PCIeLink().transfer_us(16_000_000_000) == pytest.approx(1e6)
+
+    def test_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            PCIeLink().transfer_cycles(-1)
+        with pytest.raises(ValueError):
+            PCIeLink().transfer_us(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PCIeLink(bandwidth_gbs=0)
+        with pytest.raises(ValueError):
+            PCIeLink(fault_service_us=-1)
+        with pytest.raises(ValueError):
+            PCIeLink(clock_ghz=0)
+
+    def test_scaling_with_clock(self):
+        slow = PCIeLink(clock_ghz=0.7)
+        assert slow.fault_service_cycles == 14000

@@ -1,0 +1,83 @@
+"""Tests for trace containers and combinators."""
+
+import pytest
+
+from repro.workloads.base import PatternType, Trace, concatenate, interleave
+
+
+def make(name, pages):
+    return Trace(name, list(pages), PatternType.STREAMING)
+
+
+class TestTrace:
+    def test_footprint_counts_distinct(self):
+        assert make("t", [1, 2, 2, 3]).footprint_pages == 3
+
+    def test_len_and_iter(self):
+        trace = make("t", [1, 2, 3])
+        assert len(trace) == 3
+        assert list(trace) == [1, 2, 3]
+
+    def test_capacity_for_rate(self):
+        trace = make("t", range(100))
+        assert trace.capacity_for(0.75) == 75
+        assert trace.capacity_for(0.50) == 50
+
+    def test_capacity_never_zero(self):
+        trace = make("t", [1])
+        assert trace.capacity_for(0.1) == 1
+
+    def test_capacity_rejects_bad_rate(self):
+        trace = make("t", [1, 2])
+        with pytest.raises(ValueError):
+            trace.capacity_for(0.0)
+        with pytest.raises(ValueError):
+            trace.capacity_for(1.5)
+
+    def test_pattern_roman_labels(self):
+        assert PatternType.STREAMING.roman == "I"
+        assert PatternType.THRASHING.roman == "II"
+        assert PatternType.PART_REPETITIVE.roman == "III"
+        assert PatternType.MOST_REPETITIVE.roman == "IV"
+        assert PatternType.REPETITIVE_THRASHING.roman == "V"
+        assert PatternType.REGION_MOVING.roman == "VI"
+
+
+class TestCombinators:
+    def test_concatenate(self):
+        joined = concatenate(
+            "j", [make("a", [1, 2]), make("b", [3])], PatternType.THRASHING
+        )
+        assert joined.pages == [1, 2, 3]
+        assert joined.pattern_type is PatternType.THRASHING
+
+    def test_interleave_round_robin(self):
+        merged = interleave(
+            "m", [make("a", [1, 2, 3]), make("b", [10, 20, 30])],
+            PatternType.STREAMING,
+        )
+        assert merged.pages == [1, 10, 2, 20, 3, 30]
+
+    def test_interleave_weights(self):
+        merged = interleave(
+            "m", [make("a", [1, 2]), make("b", [10, 20, 30, 40])],
+            PatternType.STREAMING, weights=[1, 2],
+        )
+        assert merged.pages == [1, 10, 20, 2, 30, 40]
+
+    def test_interleave_exhausted_stream_drops_out(self):
+        merged = interleave(
+            "m", [make("a", [1]), make("b", [10, 20, 30])],
+            PatternType.STREAMING,
+        )
+        assert merged.pages == [1, 10, 20, 30]
+
+    def test_interleave_conserves_events(self):
+        traces = [make("a", range(7)), make("b", range(100, 105))]
+        merged = interleave("m", traces, PatternType.STREAMING, weights=[2, 1])
+        assert sorted(merged.pages) == sorted(list(range(7)) + list(range(100, 105)))
+
+    def test_interleave_rejects_weight_mismatch(self):
+        with pytest.raises(ValueError):
+            interleave("m", [make("a", [1])], PatternType.STREAMING,
+                       weights=[1, 2])

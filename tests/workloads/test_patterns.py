@@ -1,0 +1,159 @@
+"""Tests for the access-pattern generators."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import PatternType
+from repro.workloads.patterns import (
+    episode_schedule,
+    most_repetitive,
+    part_repetitive,
+    region_moving,
+    region_passes,
+    repetitive_thrashing,
+    streaming,
+    thrashing,
+)
+
+
+class TestStreaming:
+    def test_each_page_once_in_order(self):
+        trace = streaming(10)
+        assert trace.pages == list(range(10))
+        assert trace.pattern_type is PatternType.STREAMING
+
+    def test_base_page_offset(self):
+        trace = streaming(4, base_page=100)
+        assert trace.pages == [100, 101, 102, 103]
+
+    def test_rejects_zero_pages(self):
+        with pytest.raises(ValueError):
+            streaming(0)
+
+
+class TestThrashing:
+    def test_repeats_sweep(self):
+        trace = thrashing(4, iterations=3)
+        assert trace.pages == [0, 1, 2, 3] * 3
+        assert trace.metadata["iterations"] == 3
+
+    def test_rejects_single_iteration(self):
+        with pytest.raises(ValueError):
+            thrashing(4, iterations=1)
+
+    def test_footprint(self):
+        assert thrashing(100, 2).footprint_pages == 100
+
+
+class TestRegionPasses:
+    def test_single_pass(self):
+        assert region_passes([1, 1, 1], region_pages=2) == [0, 1, 2]
+
+    def test_counts_select_passes(self):
+        pages = region_passes([2, 1], region_pages=2)
+        assert pages == [0, 1, 0]
+
+    def test_regions_processed_in_order(self):
+        pages = region_passes([2, 2, 2, 2], region_pages=2)
+        assert pages == [0, 1, 0, 1, 2, 3, 2, 3]
+
+    def test_base_pages_mapping(self):
+        pages = region_passes([2, 2], region_pages=2, base_pages=[10, 20])
+        assert pages == [10, 20, 10, 20]
+
+    def test_rejects_bad_region(self):
+        with pytest.raises(ValueError):
+            region_passes([1], region_pages=0)
+
+    @given(counts=st.lists(st.integers(1, 5), min_size=1, max_size=100),
+           region=st.integers(1, 50))
+    def test_episode_conservation(self, counts, region):
+        pages = region_passes(counts, region_pages=region)
+        assert len(pages) == sum(counts)
+        for page, count in enumerate(counts):
+            assert pages.count(page) == count
+
+
+class TestEpisodeSchedule:
+    def test_single_touch_pages_in_order(self):
+        assert episode_schedule([1, 1, 1]) == [0, 1, 2]
+
+    def test_episode_conservation(self):
+        pages = episode_schedule([3, 1, 2], reref_gap=1.5)
+        assert len(pages) == 6
+        assert pages.count(0) == 3
+        assert pages.count(2) == 2
+
+    def test_first_touch_order_preserved(self):
+        pages = episode_schedule([2, 2, 2], reref_gap=100.0)
+        first_touch = []
+        for page in pages:
+            if page not in first_touch:
+                first_touch.append(page)
+        assert first_touch == [0, 1, 2]
+
+    def test_deterministic_given_rng(self):
+        import random
+        a = episode_schedule([3] * 50, 10.0, random.Random(1))
+        b = episode_schedule([3] * 50, 10.0, random.Random(1))
+        assert a == b
+
+
+class TestStochasticGenerators:
+    def test_part_repetitive_counts(self):
+        trace = part_repetitive(320, repeat_probability=1.0, repeats=2, seed=1)
+        assert len(trace) == 640
+        assert trace.footprint_pages == 320
+
+    def test_part_repetitive_zero_probability_is_streaming_like(self):
+        trace = part_repetitive(100, repeat_probability=0.0, seed=1)
+        assert len(trace) == 100
+
+    def test_part_repetitive_rejects_bad_probability(self):
+        with pytest.raises(ValueError):
+            part_repetitive(10, repeat_probability=1.5)
+
+    def test_part_repetitive_locality_blocks_share_counts(self):
+        trace = part_repetitive(64, repeat_probability=0.5, repeats=2,
+                                seed=3, locality_block=16, region_pages=64)
+        counts = [trace.pages.count(page) for page in range(64)]
+        for block_start in range(0, 64, 16):
+            block = counts[block_start:block_start + 16]
+            assert len(set(block)) == 1  # whole block repeats together
+
+    def test_most_repetitive_range_respected(self):
+        trace = most_repetitive(128, repeats_range=(2, 3), seed=1)
+        counts = [trace.pages.count(page) for page in range(128)]
+        assert all(2 <= c <= 3 for c in counts)
+
+    def test_most_repetitive_rejects_bad_range(self):
+        with pytest.raises(ValueError):
+            most_repetitive(10, repeats_range=(3, 2))
+
+    def test_repetitive_thrashing_iterates(self):
+        trace = repetitive_thrashing(64, iterations=2,
+                                     repeats_range=(2, 2), seed=1)
+        assert trace.pages.count(0) == 4  # 2 per iteration x 2 iterations
+        assert trace.metadata["iterations"] == 2
+
+    def test_repetitive_thrashing_rejects_single_iteration(self):
+        with pytest.raises(ValueError):
+            repetitive_thrashing(64, iterations=1)
+
+    def test_region_moving_never_returns_to_old_region(self):
+        trace = region_moving(100, num_regions=4, seed=1)
+        max_seen = -1
+        region_size = 25
+        for page in trace.pages:
+            region = page // region_size
+            assert region >= (max_seen - 0)  # monotone non-decreasing regions
+            max_seen = max(max_seen, region)
+
+    def test_region_moving_rejects_too_many_regions(self):
+        with pytest.raises(ValueError):
+            region_moving(3, num_regions=10)
+
+    def test_determinism_by_seed(self):
+        a = part_repetitive(100, seed=5)
+        b = part_repetitive(100, seed=5)
+        assert a.pages == b.pages

@@ -1,0 +1,113 @@
+"""Tests for the 23-application suite (Table II)."""
+
+import pytest
+
+from repro.workloads.base import PatternType
+from repro.workloads.suite import (
+    APPLICATION_ORDER,
+    APPLICATIONS,
+    MANUAL_STRATEGY,
+    all_applications,
+    applications_of_type,
+    get_application,
+)
+
+
+class TestRegistry:
+    def test_twenty_three_applications(self):
+        assert len(APPLICATION_ORDER) == 23
+        assert len(APPLICATIONS) == 23
+
+    def test_table2_type_assignments(self):
+        expected = {
+            "HOT": "I", "LEU": "I", "CUT": "I", "2DC": "I", "GEM": "I",
+            "SRD": "II", "HSD": "II", "MRQ": "II", "STN": "II",
+            "PAT": "III", "DWT": "III", "BKP": "III", "KMN": "III",
+            "SAD": "III",
+            "NW": "IV", "BFS": "IV", "MVT": "IV",
+            "HWL": "V", "SGM": "V", "HIS": "V", "SPV": "V",
+            "B+T": "VI", "HYB": "VI",
+        }
+        for abbr, roman in expected.items():
+            assert APPLICATIONS[abbr].pattern_type.roman == roman
+
+    def test_lookup_case_insensitive(self):
+        assert get_application("hsd").abbr == "HSD"
+
+    def test_unknown_application(self):
+        with pytest.raises(KeyError):
+            get_application("XYZ")
+
+    def test_applications_of_type(self):
+        type_two = applications_of_type(PatternType.THRASHING)
+        assert [spec.abbr for spec in type_two] == ["SRD", "HSD", "MRQ", "STN"]
+
+    def test_all_applications_in_paper_order(self):
+        assert [s.abbr for s in all_applications()] == APPLICATION_ORDER
+
+    def test_manual_strategy_covers_all_apps(self):
+        assert set(MANUAL_STRATEGY) == set(APPLICATION_ORDER)
+        assert set(MANUAL_STRATEGY.values()) == {"mru-c", "lru"}
+
+    def test_rrip_thrashing_flag(self):
+        assert get_application("HSD").is_thrashing_type
+        assert not get_application("HOT").is_thrashing_type
+
+
+class TestBuilders:
+    @pytest.mark.parametrize("abbr", APPLICATION_ORDER)
+    def test_every_app_builds(self, abbr):
+        trace = get_application(abbr).build(seed=1, scale=0.25)
+        assert len(trace) > 0
+        assert trace.footprint_pages > 0
+        assert trace.name == abbr
+        assert all(page >= 0 for page in trace.pages)
+
+    @pytest.mark.parametrize("abbr", ["HOT", "HSD", "KMN", "NW", "B+T"])
+    def test_build_deterministic(self, abbr):
+        spec = get_application(abbr)
+        assert spec.build(seed=3).pages == spec.build(seed=3).pages
+
+    def test_scale_shrinks_footprint(self):
+        spec = get_application("HOT")
+        full = spec.build(seed=1, scale=1.0)
+        half = spec.build(seed=1, scale=0.5)
+        assert half.footprint_pages < full.footprint_pages
+
+    def test_scale_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            get_application("HOT").build(scale=0)
+
+    def test_metadata_populated(self):
+        trace = get_application("HSD").build()
+        assert trace.metadata["suite"] == "Rodinia"
+        assert trace.metadata["application"] == "hotspot3D"
+        assert trace.metadata["pattern_type"] == "II"
+
+
+class TestDocumentedQuirks:
+    def test_nw_touches_even_then_odd(self):
+        trace = get_application("NW").build(seed=1)
+        first_odd = next(i for i, p in enumerate(trace.pages) if p % 2 == 1)
+        assert all(p % 2 == 0 for p in trace.pages[:first_odd])
+
+    def test_mvt_rows_have_stride_four(self):
+        trace = get_application("MVT").build(seed=1)
+        vector_start = max(trace.pages) - 1000  # vector is the top region
+        rows = [p for p in set(trace.pages) if p < vector_start]
+        assert all(p % 4 == 0 for p in rows)
+
+    def test_hsd_is_pure_cyclic_sweep(self):
+        trace = get_application("HSD").build(seed=1)
+        footprint = trace.footprint_pages
+        iterations = trace.metadata["iterations"]
+        assert trace.pages == list(range(footprint)) * iterations
+
+    def test_gem_interleaves_stream_and_sweep(self):
+        trace = get_application("GEM").build(seed=1)
+        counts = {}
+        for page in trace.pages:
+            counts[page] = counts.get(page, 0) + 1
+        reused = sum(1 for c in counts.values() if c > 1)
+        once = sum(1 for c in counts.values() if c == 1)
+        assert reused > 0 and once > 0  # B matrix re-swept, A/C streamed

@@ -1,0 +1,87 @@
+"""Tests for trace serialisation."""
+
+import pytest
+
+from repro.workloads.base import PatternType, Trace
+from repro.workloads.trace_io import (
+    MAGIC,
+    TraceFormatError,
+    load_trace,
+    save_trace,
+)
+
+
+def make_trace():
+    return Trace(
+        "demo", [1, 2, 3, 1], PatternType.THRASHING,
+        metadata={"iterations": 2},
+    )
+
+
+class TestRoundTrip:
+    def test_plain_text(self, tmp_path):
+        path = tmp_path / "demo.trace"
+        save_trace(make_trace(), path)
+        loaded = load_trace(path)
+        assert loaded.pages == [1, 2, 3, 1]
+        assert loaded.name == "demo"
+        assert loaded.pattern_type is PatternType.THRASHING
+        assert loaded.metadata["iterations"] == "2"
+
+    def test_gzip(self, tmp_path):
+        path = tmp_path / "demo.trace.gz"
+        save_trace(make_trace(), path)
+        assert load_trace(path).pages == [1, 2, 3, 1]
+
+    def test_gzip_actually_compressed(self, tmp_path):
+        import gzip
+        path = tmp_path / "demo.trace.gz"
+        save_trace(make_trace(), path)
+        with gzip.open(path, "rt") as stream:
+            assert stream.readline().strip() == MAGIC
+
+    def test_suite_application_roundtrip(self, tmp_path):
+        from repro.workloads.suite import get_application
+        trace = get_application("STN").build(seed=1, scale=0.25)
+        path = tmp_path / "stn.trace"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.pages == trace.pages
+        assert loaded.pattern_type is trace.pattern_type
+
+
+class TestErrorHandling:
+    def test_missing_magic(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text("1\n2\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_garbage_page_number(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{MAGIC}\nhello\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_negative_page_number(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{MAGIC}\n-3\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.trace"
+        path.write_text(f"{MAGIC}\n# name=x\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_unknown_pattern_rejected(self, tmp_path):
+        path = tmp_path / "bad.trace"
+        path.write_text(f"{MAGIC}\n# pattern=XII\n1\n")
+        with pytest.raises(TraceFormatError):
+            load_trace(path)
+
+    def test_blank_lines_and_comments_skipped(self, tmp_path):
+        path = tmp_path / "ok.trace"
+        path.write_text(f"{MAGIC}\n\n# just a comment without equals\n5\n")
+        assert load_trace(path).pages == [5]

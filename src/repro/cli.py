@@ -20,6 +20,8 @@ Subcommands
     Dump an application's page-touch trace to a file.
 ``analyze``
     Reuse-distance / pattern analysis of an application or trace file.
+``cache``
+    Inspect or clear the persistent result/trace cache.
 ``all``
     Regenerate everything (used to refresh EXPERIMENTS.md data).
 """
@@ -27,6 +29,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 from typing import Optional, Sequence
@@ -34,9 +37,15 @@ from typing import Optional, Sequence
 from repro.experiments.ablation import ablation
 from repro.experiments.figures import FIGURES
 from repro.experiments.overhead import OVERHEADS
-from repro.experiments.runner import POLICY_NAMES, run_application
+from repro.experiments.runner import (
+    ENV_JOBS,
+    POLICY_NAMES,
+    clear_trace_cache,
+    run_application,
+)
 from repro.experiments.sensitivity import SENSITIVITIES
 from repro.experiments.tables import TABLES
+from repro.sim import cache as sim_cache
 from repro.workloads.suite import all_applications, get_application
 from repro.workloads.trace_io import load_trace, save_trace
 
@@ -48,6 +57,13 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="footprint scale factor (default 1.0)")
     parser.add_argument("--apps", type=str, default=None,
                         help="comma-separated subset of applications")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes for matrix runs "
+                             "(default: REPRO_JOBS or serial; "
+                             "0 = all cores)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the persistent result/trace cache "
+                             "for this invocation")
 
 
 def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
@@ -109,10 +125,26 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated capacities for miss curves")
     _add_common(ana_p)
 
+    cache_p = sub.add_parser(
+        "cache", help="inspect or clear the persistent result/trace cache"
+    )
+    cache_p.add_argument("action", choices=["info", "clear"],
+                         help="info: show location and entry counts; "
+                              "clear: delete every cached result and trace")
+
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     _add_common(all_p)
 
     return parser
+
+
+def _apply_runtime_flags(args: argparse.Namespace) -> None:
+    """Honour the global ``--jobs`` / ``--no-cache`` switches."""
+    jobs = getattr(args, "jobs", None)
+    if jobs is not None:
+        os.environ[ENV_JOBS] = str(jobs)
+    if getattr(args, "no_cache", False):
+        sim_cache.configure(enabled=False)
 
 
 def _common_kwargs(args: argparse.Namespace) -> dict:
@@ -125,6 +157,26 @@ def _common_kwargs(args: argparse.Namespace) -> dict:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    _apply_runtime_flags(args)
+
+    if args.command == "cache":
+        if args.action == "clear":
+            info = sim_cache.describe()
+            sim_cache.clear_all()
+            clear_trace_cache()
+            print(f"cleared {info['results']} cached results and "
+                  f"{info['traces']} cached traces "
+                  f"under {info['directory']}")
+            return 0
+        info = sim_cache.describe()
+        print(f"directory     : {info['directory']}")
+        print(f"enabled       : {info['enabled']}")
+        print(f"schema        : v{info['schema_version']}")
+        print(f"cached results: {info['results']} "
+              f"({info['result_bytes'] / 1024:.1f} KiB)")
+        print(f"cached traces : {info['traces']} "
+              f"({info['trace_bytes'] / 1024:.1f} KiB)")
+        return 0
 
     if args.command == "list":
         print(f"{'abbr':5s} {'type':4s} {'suite':10s} application")

@@ -97,8 +97,9 @@ class PageSetChain:
         Entries already in *new* are left in place, implementing the
         "only one movement per interval" rule.
         """
-        if key in self._new:
-            return self._new[key]
+        entry = self._new.get(key)
+        if entry is not None:
+            return entry
         for partition in (self._middle, self._old):
             entry = partition.pop(key, None)
             if entry is not None:

@@ -136,9 +136,16 @@ class HIRCache:
         return payload
 
     def flush(self) -> None:
-        """Drop every recorded hit."""
-        for lines in self._sets:
-            lines.clear()
+        """Drop every recorded hit.
+
+        Entries only exist in sets reached through ``_touch_order`` (they
+        are created nowhere else), so clearing just those sets empties
+        the cache without sweeping the full set array every interval.
+        """
+        sets = self._sets
+        mask = self._set_mask
+        for tag in self._touch_order:
+            sets[tag & mask].clear()
         self._touch_order.clear()
 
     def transfer_bytes(self, populated_entries: int) -> int:

@@ -128,6 +128,11 @@ class HPEPolicy(EvictionPolicy):
         self._full_mask = (1 << config.page_set_size) - 1
         self._resident_pages = 0
         self._pending_transfer_bytes = 0
+        # Per-fault hot-path copies of frozen config values (a chained
+        # dataclass attribute read per fault is measurable on big runs).
+        self._use_hir = config.use_hir
+        self._transfer_interval = config.transfer_interval
+        self._interval_length = config.interval_length
 
     # ------------------------------------------------------------------
     # Routing (Fig. 6 steps 1–4)
@@ -140,19 +145,39 @@ class HPEPolicy(EvictionPolicy):
         evicted), then any live divided primary, defaulting to the
         undivided primary.
         """
+        key, _entry, mask, divided = self._route_entry(tag, offset)
+        return key, mask, divided
+
+    def _route_entry(
+        self, tag: int, offset: int
+    ) -> tuple[tuple[int, SetPart], Optional[PageSetEntry], int, bool]:
+        """:meth:`_route` plus the already-fetched live entry (or ``None``).
+
+        The routing decision needs the live primary anyway; returning it
+        saves the fault path a second three-partition chain search.
+        """
         hist = self.history.primary_mask(tag)
         if hist is not None:
             if (hist >> offset) & 1:
-                return primary_key(tag), hist, True
-            return secondary_key(tag), self._full_mask & ~hist, True
-        live = self.chain.get(primary_key(tag))
+                key = primary_key(tag)
+                return key, self.chain.get(key), hist, True
+            key = secondary_key(tag)
+            return key, self.chain.get(key), self._full_mask & ~hist, True
+        key = primary_key(tag)
+        live = self.chain.get(key)
         if (
             live is not None
             and live.divided
             and not (live.member_mask >> offset) & 1
         ):
-            return secondary_key(tag), self._full_mask & ~live.member_mask, True
-        return primary_key(tag), self._full_mask, False
+            key = secondary_key(tag)
+            return (
+                key,
+                self.chain.get(key),
+                self._full_mask & ~live.member_mask,
+                True,
+            )
+        return key, live, self._full_mask, False
 
     def _get_or_create(
         self, key: tuple[int, SetPart], member_mask: int, divided: bool
@@ -190,7 +215,7 @@ class HPEPolicy(EvictionPolicy):
     # ------------------------------------------------------------------
 
     def on_walk_hit(self, page: int) -> None:
-        if self.config.use_hir:
+        if self._use_hir:
             self.hir.record_hit(page)
             return
         tag, offset = self.geometry.split(page)
@@ -219,24 +244,32 @@ class HPEPolicy(EvictionPolicy):
                     self._apply_hit_touch(tag, offset, count)
 
     def on_page_in(self, page: int, fault_number: int) -> None:
-        self.stats.faults += 1
-        if self.adjustment is not None:
-            self.adjustment.on_fault(page)
-        if self.config.use_hir and self.stats.faults % self.config.transfer_interval == 0:
+        stats = self.stats
+        stats.faults += 1
+        adjustment = self.adjustment
+        if adjustment is not None:
+            adjustment.on_fault(page)
+        if self._use_hir and stats.faults % self._transfer_interval == 0:
             self._ingest_hir()
         tag, offset = self.geometry.split(page)
-        key, member_mask, divided = self._route(tag, offset)
-        entry = self._get_or_create(key, member_mask, divided)
-        entry.touch(1)
-        entry.mark_faulted(offset)
-        entry.mark_resident(offset)
+        key, entry, member_mask, divided = self._route_entry(tag, offset)
+        if entry is None:
+            entry = PageSetEntry(
+                tag=tag,
+                page_set_size=self.config.page_set_size,
+                part=key[1],
+                member_mask=member_mask,
+                divided=divided and key[1] is SetPart.PRIMARY,
+            )
+            self.chain.insert(entry)
+        entry.record_fault(offset)
         self._resident_pages += 1
         self.chain.promote(key)
         self._maybe_divide(entry)
-        if self.stats.faults % self.config.interval_length == 0:
+        if stats.faults % self._interval_length == 0:
             self.chain.advance_interval()
-            if self.adjustment is not None:
-                self.adjustment.on_interval_end()
+            if adjustment is not None:
+                adjustment.on_interval_end()
 
     # ------------------------------------------------------------------
     # Classification (lazy: runs when memory is first full)

@@ -30,6 +30,12 @@ class SetPart(enum.Enum):
     PRIMARY = "primary"
     SECONDARY = "secondary"
 
+    # Chain keys are (tag, SetPart) tuples hashed on every chain lookup;
+    # Enum.__hash__ is a Python-level call that shows up in simulation
+    # profiles.  Members are singletons (also under pickle, which resolves
+    # them by name), so the C-level identity hash is safe and much faster.
+    __hash__ = object.__hash__
+
 
 #: Chain key type: page-set tag plus primary/secondary discriminator.
 SetKey = tuple
@@ -87,6 +93,20 @@ class PageSetEntry:
         """Set the bit-vector bit for the page at ``offset``."""
         self._check_offset(offset)
         self.bit_vector |= 1 << offset
+
+    def record_fault(self, offset: int) -> None:
+        """One fault intake: touch once, mark faulted and resident.
+
+        Fused form of ``touch(1)`` + :meth:`mark_faulted` +
+        :meth:`mark_resident` for the per-fault hot path — identical
+        semantics, one offset check instead of two.
+        """
+        self._check_offset(offset)
+        if self.counter < COUNTER_CAP:
+            self.counter += 1
+        bit = 1 << offset
+        self.bit_vector |= bit
+        self.resident_mask |= bit
 
     def mark_resident(self, offset: int) -> None:
         """Record that the page at ``offset`` is resident."""

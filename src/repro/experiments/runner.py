@@ -11,10 +11,15 @@ capacity with the paper's fixed ``m_c = 128``.
 from __future__ import annotations
 
 import math
+import os
+import sys
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.core.hpe import HPEConfig, HPEPolicy
+from repro.sim import cache as sim_cache
 from repro.policies import (
     ARCPolicy,
     CARPolicy,
@@ -46,6 +51,10 @@ PAPER_RATES = (0.75, 0.50)
 
 #: Default RNG seed for trace generation (fixed for reproducibility).
 DEFAULT_SEED = 7
+
+#: Environment variable selecting the default worker count for
+#: :func:`run_matrix` (``0`` means "one worker per CPU").
+ENV_JOBS = "REPRO_JOBS"
 
 
 def make_policy(
@@ -93,23 +102,50 @@ class RunKey:
 
 
 class TraceCache:
-    """Builds and memoises application traces per (abbr, seed, scale)."""
+    """In-memory LRU of built traces per (abbr, seed, scale).
 
-    def __init__(self) -> None:
-        self._cache: dict[tuple[str, int, float], Trace] = {}
+    Misses fall through to the persistent disk memo
+    (:func:`repro.sim.cache.load_or_build_trace`), so a trace is
+    generated at most once per machine.  The in-memory layer is bounded:
+    the full 23-application suite fits comfortably, but long-lived
+    sessions sweeping seeds/scales no longer grow without limit.
+    """
+
+    #: Default bound — the whole suite at two (seed, scale) settings.
+    DEFAULT_MAX_ENTRIES = 64
+
+    def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES) -> None:
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._cache: OrderedDict[tuple[str, int, float], Trace] = OrderedDict()
 
     def get(self, abbr: str, seed: int = DEFAULT_SEED, scale: float = 1.0) -> Trace:
         key = (abbr.upper(), seed, scale)
-        if key not in self._cache:
-            self._cache[key] = get_application(abbr).build(seed=seed, scale=scale)
-        return self._cache[key]
+        trace = self._cache.get(key)
+        if trace is not None:
+            self._cache.move_to_end(key)
+            return trace
+        trace = sim_cache.load_or_build_trace(abbr, seed, scale)
+        self._cache[key] = trace
+        while len(self._cache) > self.max_entries:
+            self._cache.popitem(last=False)
+        return trace
 
     def clear(self) -> None:
         self._cache.clear()
 
+    def __len__(self) -> int:
+        return len(self._cache)
+
 
 #: Module-level cache shared by all harnesses in one process.
 _TRACES = TraceCache()
+
+
+def clear_trace_cache() -> None:
+    """Drop every in-memory trace (the CLI ``cache clear`` entry point)."""
+    _TRACES.clear()
 
 
 def run_application(
@@ -121,8 +157,23 @@ def run_application(
     scale: float = 1.0,
     config: Optional[GPUConfig] = None,
     hpe_config: Optional[HPEConfig] = None,
+    use_cache: Optional[bool] = None,
 ) -> SimulationResult:
-    """Run one (application, policy, oversubscription-rate) simulation."""
+    """Run one (application, policy, oversubscription-rate) simulation.
+
+    Results are memoised in the persistent cache (see
+    :mod:`repro.sim.cache`) keyed by every input that can change them;
+    ``use_cache=False`` forces a fresh simulation for this call only.
+    """
+    caching = sim_cache.cache_enabled() if use_cache is None else use_cache
+    digest = sim_cache.fingerprint(
+        app, policy, rate,
+        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
+    )
+    if caching:
+        cached = sim_cache.result_cache().get(digest)
+        if cached is not None:
+            return cached
     spec = get_application(app)
     trace = _TRACES.get(app, seed, scale)
     capacity = trace.capacity_for(rate)
@@ -134,6 +185,11 @@ def run_application(
     result.extras["policy"] = policy_obj
     result.extras["pattern_type"] = spec.pattern_type
     result.extras["rate"] = rate
+    if caching:
+        try:
+            sim_cache.result_cache().put(digest, result)
+        except (OSError, RecursionError):
+            pass  # an unwritable/unpicklable entry must never fail the run
     return result
 
 
@@ -169,6 +225,38 @@ class ResultMatrix:
         return seen
 
 
+def resolve_jobs(jobs: Optional[int] = None) -> int:
+    """Worker count for :func:`run_matrix`.
+
+    ``None`` defers to the ``REPRO_JOBS`` environment variable (default
+    1, i.e. serial); ``0`` or a negative value means one worker per CPU.
+    """
+    if jobs is None:
+        raw = os.environ.get(ENV_JOBS, "").strip()
+        try:
+            jobs = int(raw) if raw else 1
+        except ValueError:
+            jobs = 1
+    if jobs <= 0:
+        jobs = os.cpu_count() or 1
+    return jobs
+
+
+def _run_job(job: tuple) -> SimulationResult:
+    """Pool entry point: one (app, policy, rate) simulation.
+
+    Lives at module level so it pickles under any multiprocessing start
+    method.  Only names and configs cross the process boundary inbound —
+    the worker builds (or disk-loads) the trace on its side — and only
+    the :class:`SimulationResult` crosses back.
+    """
+    app, policy, rate, seed, scale, config, hpe_config = job
+    return run_application(
+        app, policy, rate,
+        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
+    )
+
+
 def run_matrix(
     policies: Sequence[str],
     rates: Sequence[float] = PAPER_RATES,
@@ -179,27 +267,83 @@ def run_matrix(
     config: Optional[GPUConfig] = None,
     hpe_config: Optional[HPEConfig] = None,
     progress: bool = False,
+    jobs: Optional[int] = None,
 ) -> ResultMatrix:
-    """Run the cartesian product and collect a :class:`ResultMatrix`."""
+    """Run the cartesian product and collect a :class:`ResultMatrix`.
+
+    With ``jobs > 1`` the (rate × app × policy) runs fan out over a
+    ``multiprocessing`` pool; results are collected in the same
+    deterministic order the serial path produces and each worker builds
+    traces locally (traces are never pickled across the boundary).
+    ``jobs=None`` reads ``REPRO_JOBS``; ``jobs=1`` is plain serial
+    execution in this process.  Progress lines go to stderr so piped
+    harness output is never corrupted.
+    """
     apps = list(apps) if apps is not None else list(APPLICATION_ORDER)
+    keys = [
+        RunKey(app.upper(), policy, rate)
+        for rate in rates
+        for app in apps
+        for policy in policies
+    ]
     matrix = ResultMatrix()
-    for rate in rates:
-        for app in apps:
-            for policy in policies:
-                if progress:
-                    print(f"running {app} / {policy} @ {rate:.0%} ...", flush=True)
-                result = run_application(
-                    app, policy, rate,
-                    seed=seed, scale=scale,
-                    config=config, hpe_config=hpe_config,
-                )
-                matrix.put(RunKey(app.upper(), policy, rate), result)
+    jobs = resolve_jobs(jobs)
+
+    def note(key: RunKey) -> None:
+        if progress:
+            print(
+                f"running {key.app} / {key.policy} @ {key.rate:.0%} ...",
+                file=sys.stderr, flush=True,
+            )
+
+    if jobs == 1 or len(keys) <= 1:
+        for key in keys:
+            note(key)
+            result = run_application(
+                key.app, key.policy, key.rate,
+                seed=seed, scale=scale,
+                config=config, hpe_config=hpe_config,
+            )
+            matrix.put(key, result)
+        return matrix
+
+    import multiprocessing as mp
+
+    # Prefer fork (cheap, shares the imported modules); fall back to the
+    # platform default where fork is unavailable.
+    methods = mp.get_all_start_methods()
+    ctx = mp.get_context("fork" if "fork" in methods else None)
+    payloads = [
+        (key.app, key.policy, key.rate, seed, scale, config, hpe_config)
+        for key in keys
+    ]
+    with ctx.Pool(processes=min(jobs, len(keys))) as pool:
+        for key, result in zip(keys, pool.imap(_run_job, payloads)):
+            note(key)
+            matrix.put(key, result)
     return matrix
 
 
-def geometric_mean(values: Iterable[float]) -> float:
-    """Geometric mean, ignoring non-positive values defensively."""
+def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
+    """Geometric mean over the positive values.
+
+    Non-positive values are undefined under a geometric mean; dropping
+    them silently could let a zero-IPC run *inflate* a reported mean, so
+    any dropped value triggers a :class:`RuntimeWarning` — or a
+    :class:`ValueError` under ``strict=True``.
+    """
+    values = list(values)
     logs = [math.log(v) for v in values if v > 0]
+    dropped = len(values) - len(logs)
+    if dropped:
+        message = (
+            f"geometric_mean: dropping {dropped} non-positive value(s) "
+            f"out of {len(values)}; the reported mean covers only the "
+            "positive entries"
+        )
+        if strict:
+            raise ValueError(message)
+        warnings.warn(message, RuntimeWarning, stacklevel=2)
     if not logs:
         return 0.0
     return math.exp(sum(logs) / len(logs))

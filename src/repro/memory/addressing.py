@@ -49,16 +49,11 @@ class PageSetGeometry:
             raise ValueError(
                 f"page_set_size must be a power of two, got {self.page_set_size}"
             )
-
-    @property
-    def shift(self) -> int:
-        """Number of bits to shift a page number right to obtain its tag."""
-        return self.page_set_size.bit_length() - 1
-
-    @property
-    def offset_mask(self) -> int:
-        """Bit mask extracting a page's offset inside its page set."""
-        return self.page_set_size - 1
+        # split()/tag_of() run once per fault and per walk hit; caching
+        # the derived constants keeps them at two integer ops per call
+        # (a property call per access shows up in simulation profiles).
+        object.__setattr__(self, "shift", self.page_set_size.bit_length() - 1)
+        object.__setattr__(self, "offset_mask", self.page_set_size - 1)
 
     def tag_of(self, page: int) -> int:
         """Return the page-set tag that ``page`` belongs to."""

@@ -247,3 +247,53 @@ class ClockProPolicy(EvictionPolicy):
 
     def resident_count(self) -> int:
         return self.n_hot + self.n_cold
+
+    # ------------------------------------------------------------------
+    # Pickling (result caching / parallel matrix transport)
+    # ------------------------------------------------------------------
+    # The clock is a circular doubly-linked list; default pickling would
+    # recurse node-by-node and blow the recursion limit on large
+    # capacities, so the ring is flattened to a list and rebuilt.
+
+    def __getstate__(self) -> dict:
+        state = self.__dict__.copy()
+        ring: list[tuple[int, _Status, bool, bool]] = []
+        index_of: dict[int, int] = {}
+        anchor = self._hand_hot
+        if anchor is not None:
+            node = anchor
+            while True:
+                index_of[id(node)] = len(ring)
+                ring.append((node.page, node.status, node.ref, node.in_test))
+                node = node.next
+                if node is anchor:
+                    break
+        for attr in ("_hand_hot", "_hand_cold", "_hand_test"):
+            hand = state.pop(attr)
+            state[attr + "_index"] = (
+                None if hand is None else index_of[id(hand)]
+            )
+        del state["_nodes"]
+        state["_ring"] = ring
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        ring = state.pop("_ring")
+        hand_indices = {
+            attr: state.pop(attr + "_index")
+            for attr in ("_hand_hot", "_hand_cold", "_hand_test")
+        }
+        self.__dict__.update(state)
+        nodes: list[_Node] = []
+        self._nodes = {}
+        for page, status, ref, in_test in ring:
+            node = _Node(page, status, in_test)
+            node.ref = ref
+            nodes.append(node)
+            self._nodes[page] = node
+        count = len(nodes)
+        for i, node in enumerate(nodes):
+            node.next = nodes[(i + 1) % count]
+            node.prev = nodes[(i - 1) % count]
+        for attr, index in hand_indices.items():
+            setattr(self, attr, None if index is None else nodes[index])

@@ -1,0 +1,370 @@
+"""Persistent, content-addressed caching of simulation artefacts.
+
+Two artefact kinds are cached on disk so that repeated experiment runs —
+within one process, across processes of a parallel matrix, and across
+sessions — never redo work whose inputs have not changed:
+
+* **Simulation results** — a :class:`~repro.sim.results.SimulationResult`
+  is keyed by a SHA-256 fingerprint of everything that determines it:
+  application, policy, oversubscription rate, trace seed and scale, the
+  full :class:`~repro.sim.config.GPUConfig`, the
+  :class:`~repro.core.hpe.HPEConfig` (for HPE runs), and a cache schema
+  version.  Values are pickled whole (including the live policy object in
+  ``extras`` that the figure harnesses introspect).
+* **Built traces** — application traces are memoised through the
+  :mod:`repro.workloads.trace_io` interchange format, keyed by
+  (application, seed, scale), so a trace is generated once per machine.
+
+Environment variables
+---------------------
+``REPRO_CACHE_DIR``
+    Cache directory (default ``~/.cache/hpe-repro``).
+``REPRO_CACHE``
+    Set to ``0`` / ``off`` / ``false`` / ``no`` to disable caching.
+
+Writes are atomic (temp file + ``os.replace``), so concurrent workers of
+a parallel matrix can share one cache directory without locking; the
+worst case is the same entry being computed twice and one write winning.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.core.hpe import HPEConfig
+from repro.sim.config import GPUConfig
+from repro.sim.results import SimulationResult
+from repro.workloads.base import Trace
+from repro.workloads.trace_io import TraceFormatError, load_trace, save_trace
+
+#: Bump when the simulator's observable behaviour changes, so stale
+#: results from an older code generation can never be returned.
+CACHE_SCHEMA_VERSION = 1
+
+ENV_CACHE_DIR = "REPRO_CACHE_DIR"
+ENV_CACHE_ENABLED = "REPRO_CACHE"
+
+_FALSEY = {"0", "off", "false", "no", "disabled"}
+
+#: Explicit overrides set by :func:`configure` (CLI ``--no-cache`` etc.);
+#: ``None`` means "defer to the environment".
+_enabled_override: Optional[bool] = None
+_dir_override: Optional[Path] = None
+
+
+def configure(
+    enabled: Optional[bool] = None,
+    directory: Optional[os.PathLike] = None,
+) -> None:
+    """Override cache behaviour for this process (wins over env vars)."""
+    global _enabled_override, _dir_override, _RESULTS
+    if enabled is not None:
+        _enabled_override = enabled
+    if directory is not None:
+        _dir_override = Path(directory)
+    _RESULTS = None  # rebuild lazily against the new settings
+
+
+def cache_enabled() -> bool:
+    """Is persistent caching on (configure() override, then env)?"""
+    if _enabled_override is not None:
+        return _enabled_override
+    raw = os.environ.get(ENV_CACHE_ENABLED, "1").strip().lower()
+    return raw not in _FALSEY
+
+
+def cache_dir() -> Path:
+    """Root cache directory (configure() override, then env, then default)."""
+    if _dir_override is not None:
+        return _dir_override
+    raw = os.environ.get(ENV_CACHE_DIR)
+    if raw:
+        return Path(raw)
+    return Path.home() / ".cache" / "hpe-repro"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ResultCache` instance."""
+
+    result_hits: int = 0
+    result_misses: int = 0
+    result_stores: int = 0
+    trace_hits: int = 0
+    trace_misses: int = 0
+
+
+def _stable_config_repr(config: object) -> str:
+    """Deterministic text form of a (possibly nested) config dataclass."""
+    if config is None:
+        return "None"
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        fields = ", ".join(
+            f"{f.name}={_stable_config_repr(getattr(config, f.name))}"
+            for f in dataclasses.fields(config)
+        )
+        return f"{type(config).__name__}({fields})"
+    return repr(config)
+
+
+def fingerprint(
+    app: str,
+    policy: str,
+    rate: float,
+    *,
+    seed: int,
+    scale: float,
+    config: Optional[GPUConfig] = None,
+    hpe_config: Optional[HPEConfig] = None,
+    prefetch_degree: int = 0,
+) -> str:
+    """Content address of one simulation run.
+
+    Any input that can change the :class:`SimulationResult` is folded in;
+    ``hpe_config`` only participates for HPE runs (it cannot affect any
+    other policy, and normalising it keeps sensitivity sweeps sharing
+    entries for their non-HPE baselines).
+    """
+    policy = policy.lower()
+    effective_hpe: Optional[HPEConfig]
+    if policy == "hpe":
+        effective_hpe = hpe_config or HPEConfig()
+    else:
+        effective_hpe = None
+    canonical = "|".join([
+        f"schema={CACHE_SCHEMA_VERSION}",
+        f"app={app.upper()}",
+        f"policy={policy}",
+        f"rate={rate!r}",
+        f"seed={seed}",
+        f"scale={scale!r}",
+        f"prefetch={prefetch_degree}",
+        f"config={_stable_config_repr(config or GPUConfig())}",
+        f"hpe={_stable_config_repr(effective_hpe)}",
+    ])
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def trace_fingerprint(abbr: str, seed: int, scale: float) -> str:
+    """Content address of one built application trace."""
+    canonical = (
+        f"trace-schema={CACHE_SCHEMA_VERSION}|app={abbr.upper()}"
+        f"|seed={seed}|scale={scale!r}"
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (parallel-writer safe)."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=path.parent, prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as stream:
+            stream.write(payload)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+class ResultCache:
+    """Disk-backed store of pickled :class:`SimulationResult` objects.
+
+    A small in-memory layer keeps the pickled bytes of recently used
+    entries so warm harness reruns in one process skip even the disk
+    read; entries are always *unpickled per get* so callers never share
+    mutable state.
+    """
+
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        memory_entries: int = 256,
+    ) -> None:
+        self.directory = Path(directory) if directory else cache_dir() / "results"
+        self.stats = CacheStats()
+        self._memory: dict[str, bytes] = {}
+        self._memory_entries = memory_entries
+
+    def _path(self, digest: str) -> Path:
+        # Two-level fan-out keeps directory listings manageable.
+        return self.directory / digest[:2] / f"{digest}.pkl"
+
+    def get(self, digest: str) -> Optional[SimulationResult]:
+        """Return a fresh copy of the cached result, or ``None`` on miss."""
+        payload = self._memory.get(digest)
+        if payload is None:
+            try:
+                payload = self._path(digest).read_bytes()
+            except OSError:
+                self.stats.result_misses += 1
+                return None
+            self._remember(digest, payload)
+        try:
+            result = pickle.loads(payload)
+        except Exception:
+            # Corrupt or incompatible entry: drop it and treat as a miss.
+            self._memory.pop(digest, None)
+            try:
+                self._path(digest).unlink()
+            except OSError:
+                pass
+            self.stats.result_misses += 1
+            return None
+        self.stats.result_hits += 1
+        return result
+
+    def put(self, digest: str, result: SimulationResult) -> None:
+        """Store ``result`` under ``digest`` (atomic, last writer wins)."""
+        payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        _atomic_write_bytes(self._path(digest), payload)
+        self._remember(digest, payload)
+        self.stats.result_stores += 1
+
+    def _remember(self, digest: str, payload: bytes) -> None:
+        self._memory[digest] = payload
+        while len(self._memory) > self._memory_entries:
+            self._memory.pop(next(iter(self._memory)))
+
+    def clear(self) -> int:
+        """Delete every stored result; return the number removed."""
+        removed = 0
+        self._memory.clear()
+        if self.directory.is_dir():
+            for entry in self.directory.rglob("*.pkl"):
+                try:
+                    entry.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def entry_count(self) -> int:
+        """Number of results currently on disk."""
+        if not self.directory.is_dir():
+            return 0
+        return sum(1 for _ in self.directory.rglob("*.pkl"))
+
+
+#: Lazily constructed process-wide singleton (reset by :func:`configure`).
+_RESULTS: Optional[ResultCache] = None
+
+
+def result_cache() -> ResultCache:
+    """The process-wide result cache against the current settings."""
+    global _RESULTS
+    if _RESULTS is None:
+        _RESULTS = ResultCache()
+    return _RESULTS
+
+
+def lookup_result(digest: str) -> Optional[SimulationResult]:
+    """Cache-aware get: ``None`` when disabled or missing."""
+    if not cache_enabled():
+        return None
+    return result_cache().get(digest)
+
+
+def store_result(digest: str, result: SimulationResult) -> None:
+    """Cache-aware put: a no-op when caching is disabled."""
+    if not cache_enabled():
+        return
+    try:
+        result_cache().put(digest, result)
+    except (OSError, RecursionError, pickle.PicklingError):
+        pass  # an unwritable/unpicklable entry must never fail the run
+
+
+# ----------------------------------------------------------------------
+# Trace memoisation through the trace_io interchange format
+# ----------------------------------------------------------------------
+
+
+def trace_path(abbr: str, seed: int, scale: float) -> Path:
+    """Where the memoised trace for these build inputs lives."""
+    digest = trace_fingerprint(abbr, seed, scale)
+    return cache_dir() / "traces" / f"{abbr.upper()}-{digest[:16]}.trace.gz"
+
+
+def load_or_build_trace(abbr: str, seed: int, scale: float) -> Trace:
+    """Return the application trace, reading/writing the disk memo.
+
+    Falls back to a plain build whenever caching is off or the stored
+    file is unreadable; the returned trace is identical either way (the
+    simulator consumes only pages, name and pattern type, all of which
+    round-trip through :mod:`repro.workloads.trace_io`).
+    """
+    from repro.workloads.suite import get_application
+
+    cache = result_cache()
+    if cache_enabled():
+        path = trace_path(abbr, seed, scale)
+        if path.is_file():
+            try:
+                trace = load_trace(path)
+            except (TraceFormatError, OSError, EOFError):
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+            else:
+                cache.stats.trace_hits += 1
+                return trace
+    cache.stats.trace_misses += 1
+    trace = get_application(abbr).build(seed=seed, scale=scale)
+    if cache_enabled():
+        try:
+            path = trace_path(abbr, seed, scale)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            # The tmp name must keep the .gz suffix so save_trace compresses.
+            tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.gz"
+            save_trace(trace, tmp)
+            os.replace(tmp, path)
+        except OSError:
+            pass
+    return trace
+
+
+def clear_all() -> int:
+    """Remove every cached result and trace; return entries removed."""
+    removed = result_cache().clear()
+    traces = cache_dir() / "traces"
+    if traces.is_dir():
+        for entry in traces.glob("*.trace.gz"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+    return removed
+
+
+def describe() -> dict:
+    """Summary of the cache state (CLI ``cache info``)."""
+    traces = cache_dir() / "traces"
+    trace_files = list(traces.glob("*.trace.gz")) if traces.is_dir() else []
+    result_dir = result_cache().directory
+    result_files = (
+        list(result_dir.rglob("*.pkl")) if result_dir.is_dir() else []
+    )
+    return {
+        "enabled": cache_enabled(),
+        "directory": str(cache_dir()),
+        "schema_version": CACHE_SCHEMA_VERSION,
+        "results": len(result_files),
+        "result_bytes": sum(f.stat().st_size for f in result_files),
+        "traces": len(trace_files),
+        "trace_bytes": sum(f.stat().st_size for f in trace_files),
+    }

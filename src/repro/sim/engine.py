@@ -23,6 +23,7 @@ lose exactly through the evictions they cause.
 
 from __future__ import annotations
 
+import os
 from typing import Optional, Sequence
 
 from repro.memory.frames import FramePool
@@ -68,12 +69,33 @@ class UVMSimulator:
             prefetch_degree=prefetch_degree,
         )
 
-    def run(self, trace: Sequence[int], workload_name: str = "trace") -> SimulationResult:
-        """Replay ``trace`` and return the collected metrics."""
-        config = self.config
+    def run(
+        self,
+        trace: Sequence[int],
+        workload_name: str = "trace",
+        fast: Optional[bool] = None,
+    ) -> SimulationResult:
+        """Replay ``trace`` and return the collected metrics.
+
+        Two equivalent inner loops exist: the flattened fast path
+        (default) and the straightforward reference loop.  They produce
+        bit-identical results — the test suite cross-checks them — and
+        ``fast=False`` or ``REPRO_SIM_FASTPATH=0`` selects the reference
+        loop for debugging.
+        """
+        if fast is None:
+            fast = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
         if self.policy.requires_future:
             self.policy.prime_future(trace)
+        if fast:
+            cycles = self._replay_fast(trace)
+        else:
+            cycles = self._replay_reference(trace)
+        return self._collect(trace, workload_name, cycles)
 
+    def _replay_reference(self, trace: Sequence[int]) -> int:
+        """The unflattened event loop (kept as the behavioural oracle)."""
+        config = self.config
         num_sms = config.num_sms
         total_warps = config.total_warps
         mem_latency = config.memory_latency_cycles
@@ -125,8 +147,176 @@ class UVMSimulator:
                     continue
             warp_ready[warp] = start + latency + mem_latency
 
-        cycles = max(max(warp_ready, default=0), max(sm_issue_time, default=0))
-        instructions = len(trace) * config.instructions_per_access
+        return max(max(warp_ready, default=0), max(sm_issue_time, default=0))
+
+    def _replay_fast(self, trace: Sequence[int]) -> int:
+        """Flattened event loop: same behaviour, far fewer dispatches.
+
+        Per event the reference loop pays two TLB method calls, a
+        :class:`TranslationResult` allocation, an enum comparison and —
+        on L2 misses — a :class:`WalkOutcome` allocation.  Here the TLB
+        probes and the page-table walk are inlined over local bindings of
+        the underlying set dictionaries, outcomes stay plain ints, and
+        hit/miss/eviction counters are accumulated in locals and folded
+        into the stats objects once at the end.  Fault handling (driver +
+        policy) is left untouched: that *is* the simulated behaviour.
+        """
+        config = self.config
+        num_sms = config.num_sms
+        total_warps = config.total_warps
+        mem_latency = config.memory_latency_cycles
+        fault_cycles = config.pcie.fault_service_cycles
+        pcie = config.pcie
+        transfer_cycles = pcie.transfer_cycles
+        policy = self.policy
+        consume_bytes = getattr(policy, "consume_transfer_bytes", None)
+        track_position = policy.requires_future
+        on_trace_position = policy.on_trace_position
+        service_fault = self.driver.service_fault
+
+        sm_issue_time = [0] * num_sms
+        warp_ready = [0] * total_warps
+        fault_queue_free = 0
+        sm_of_warp = [w % num_sms for w in range(total_warps)]
+        # transfer_cycles is pure and faults move page-sized byte counts,
+        # so the (few) distinct values are worth memoising.
+        transfer_memo: dict = {}
+
+        # Local bindings of the translation-path state.  The OrderedDict
+        # set objects are shared with the TLB instances, so shootdowns
+        # issued by the driver during fault handling remain visible here.
+        l1_states = [tlb.fastpath_state() for tlb in self.hierarchy.l1_tlbs]
+        l1_sets = [state[0] for state in l1_states]
+        l1_mask = l1_states[0][1]
+        l1_assoc = l1_states[0][2]
+        l1_latency = l1_states[0][3]
+        l2_sets, l2_mask, l2_assoc, l2_latency = \
+            self.hierarchy.l2_tlb.fastpath_state()
+        miss_latency = l1_latency + l2_latency
+        walker = self.walker
+        walk_latency = walker.walk_latency_cycles
+        # Pre-summed per-outcome latencies (one addition per event adds up).
+        l1_hit_total = l1_latency + mem_latency
+        l2_hit_total = miss_latency + mem_latency
+        walk_hit_total = miss_latency + walk_latency + mem_latency
+        fault_begin_latency = miss_latency + walk_latency
+        listeners = walker._hit_listeners
+        pt_entries = self.page_table._entries
+
+        l1_hits = [0] * num_sms
+        l1_misses = [0] * num_sms
+        l1_evictions = [0] * num_sms
+        l2_hits = 0
+        l2_misses = 0
+        l2_evictions = 0
+        walks = 0
+        walk_hits = 0
+        walk_faults = 0
+
+        index = 0
+        warp = total_warps - 1
+        for page in trace:
+            if track_position:
+                on_trace_position(index)
+            index += 1
+            warp += 1
+            if warp == total_warps:
+                warp = 0
+            sm = sm_of_warp[warp]
+            start = sm_issue_time[sm]
+            ready = warp_ready[warp]
+            if ready > start:
+                start = ready
+            sm_issue_time[sm] = start + 1
+
+            # L1 probe (inlined TLB.lookup).
+            sets = l1_sets[sm]
+            entries = sets[page & l1_mask]
+            if page in entries:
+                entries.move_to_end(page)
+                l1_hits[sm] += 1
+                warp_ready[warp] = start + l1_hit_total
+                continue
+            l1_misses[sm] += 1
+
+            # L2 probe.
+            l2_entries = l2_sets[page & l2_mask]
+            if page in l2_entries:
+                l2_entries.move_to_end(page)
+                l2_hits += 1
+                # Refill the requesting SM's L1 (inlined TLB.insert; the
+                # page just missed there, so only the eviction check).
+                if len(entries) >= l1_assoc:
+                    entries.popitem(last=False)
+                    l1_evictions[sm] += 1
+                entries[page] = 0
+                warp_ready[warp] = start + l2_hit_total
+                continue
+            l2_misses += 1
+
+            # Page-table walk (inlined walker.walk).
+            walks += 1
+            pte = pt_entries.get(page)
+            if pte is not None and pte.valid:
+                walk_hits += 1
+                pte.walk_hits += 1
+                for listener in listeners:
+                    listener(page)
+                frame = pte.frame
+                if len(entries) >= l1_assoc:
+                    entries.popitem(last=False)
+                    l1_evictions[sm] += 1
+                entries[page] = frame
+                if len(l2_entries) >= l2_assoc:
+                    l2_entries.popitem(last=False)
+                    l2_evictions += 1
+                l2_entries[page] = frame
+                warp_ready[warp] = start + walk_hit_total
+                continue
+
+            # Page fault: driver services it serially.
+            walk_faults += 1
+            frame, _evicted, bytes_transferred = service_fault(page)
+            service = transfer_memo.get(bytes_transferred)
+            if service is None:
+                service = fault_cycles + transfer_cycles(bytes_transferred)
+                transfer_memo[bytes_transferred] = service
+            # The shootdown of the victim may have shrunk these sets, so
+            # re-check occupancy before inserting (inlined hierarchy.fill).
+            if len(entries) >= l1_assoc:
+                entries.popitem(last=False)
+                l1_evictions[sm] += 1
+            entries[page] = frame
+            if len(l2_entries) >= l2_assoc:
+                l2_entries.popitem(last=False)
+                l2_evictions += 1
+            l2_entries[page] = frame
+            if consume_bytes is not None:
+                extra = consume_bytes()
+                if extra:  # transfer_cycles(0) == 0
+                    service += transfer_cycles(extra)
+            begin = start + fault_begin_latency
+            if fault_queue_free > begin:
+                begin = fault_queue_free
+            fault_queue_free = begin + service
+            warp_ready[warp] = fault_queue_free
+
+        for sm, tlb in enumerate(self.hierarchy.l1_tlbs):
+            tlb.add_batched_stats(l1_hits[sm], l1_misses[sm], l1_evictions[sm])
+        self.hierarchy.l2_tlb.add_batched_stats(l2_hits, l2_misses, l2_evictions)
+        walker.walks += walks
+        walker.hits += walk_hits
+        walker.faults += walk_faults
+
+        return max(max(warp_ready, default=0), max(sm_issue_time, default=0))
+
+    def _collect(
+        self, trace: Sequence[int], workload_name: str, cycles: int
+    ) -> SimulationResult:
+        """Assemble the :class:`SimulationResult` for one finished replay."""
+        policy = self.policy
+        hierarchy = self.hierarchy
+        instructions = len(trace) * self.config.instructions_per_access
         extras: dict = {}
         stats = getattr(policy, "stats", None)
         if stats is not None:
@@ -140,10 +330,10 @@ class UVMSimulator:
             trace_length=len(trace),
             cycles=cycles,
             instructions=instructions,
-            driver=driver.stats,
+            driver=self.driver.stats,
             l1_tlb_hits=sum(t.stats.hits for t in hierarchy.l1_tlbs),
             l2_tlb_hits=hierarchy.l2_tlb.stats.hits,
-            walker_hits=walker.hits,
+            walker_hits=self.walker.hits,
             extras=extras,
         )
 

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Optional
 
 from repro.uvm.driver import DriverStats
@@ -49,6 +49,28 @@ class SimulationResult:
         if not self.footprint_pages:
             return 1.0
         return self.capacity_pages / self.footprint_pages
+
+    def key_metrics(self) -> dict:
+        """Flat, comparable summary of everything the simulation measured.
+
+        Two runs of the same (workload × policy × capacity) combination
+        are equivalent iff their ``key_metrics()`` are equal — the tests
+        use this to check serial vs. parallel and fast vs. reference
+        replays for bit-identical behaviour.
+        """
+        return {
+            "policy": self.policy_name,
+            "workload": self.workload_name,
+            "capacity_pages": self.capacity_pages,
+            "footprint_pages": self.footprint_pages,
+            "trace_length": self.trace_length,
+            "cycles": self.cycles,
+            "instructions": self.instructions,
+            "driver": asdict(self.driver),
+            "l1_tlb_hits": self.l1_tlb_hits,
+            "l2_tlb_hits": self.l2_tlb_hits,
+            "walker_hits": self.walker_hits,
+        }
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """IPC speedup of this run relative to ``baseline``."""

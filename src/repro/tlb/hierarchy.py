@@ -80,15 +80,48 @@ class TLBHierarchy:
             return TranslationResult(TranslationLevel.L2_TLB, latency)
         return TranslationResult(TranslationLevel.PAGE_TABLE, latency)
 
+    def lookup_fast(self, sm: int, page: int) -> int:
+        """Allocation-free :meth:`lookup` with an int-encoded outcome.
+
+        Returns the probe latency in cycles, **negated** when the request
+        missed both TLB levels and must walk the page table.  Exactly the
+        same state and stats updates as :meth:`lookup` — only the
+        :class:`TranslationResult`/enum wrapper is skipped, which matters
+        on the simulator's per-event hot path.
+        """
+        l1 = self.l1_tlbs[sm]
+        latency = l1.config.latency_cycles
+        if l1.lookup(page):
+            return latency
+        latency += self.l2_tlb.config.latency_cycles
+        if self.l2_tlb.lookup(page):
+            l1.insert(page)
+            return latency
+        return -latency
+
     def fill(self, sm: int, page: int, frame: int = 0) -> None:
         """Install a translation in the requesting SM's L1 and in the L2."""
         self.l1_tlbs[sm].insert(page, frame)
         self.l2_tlb.insert(page, frame)
 
     def shootdown(self, page: int) -> int:
-        """Invalidate ``page`` everywhere (page evicted); return hit count."""
-        removed = sum(1 for tlb in self.l1_tlbs if tlb.invalidate(page))
-        if self.l2_tlb.invalidate(page):
+        """Invalidate ``page`` everywhere (page evicted); return hit count.
+
+        Runs once per eviction over every TLB, so the per-TLB probe is
+        inlined (same update rules as :meth:`TLB.invalidate`) rather than
+        paying a method call and generator frame per level.
+        """
+        removed = 0
+        for tlb in self.l1_tlbs:
+            entries = tlb._sets[page & tlb._set_mask]
+            if page in entries:
+                del entries[page]
+                tlb.stats.shootdowns += 1
+                removed += 1
+        entries = self.l2_tlb._sets[page & self.l2_tlb._set_mask]
+        if page in entries:
+            del entries[page]
+            self.l2_tlb.stats.shootdowns += 1
             removed += 1
         return removed
 

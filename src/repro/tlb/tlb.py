@@ -90,7 +90,7 @@ class TLB:
 
     def lookup(self, page: int) -> bool:
         """Probe for ``page``; update LRU order and stats; return hit."""
-        entries = self._set_of(page)
+        entries = self._sets[page & self._set_mask]
         if page in entries:
             entries.move_to_end(page)
             self.stats.hits += 1
@@ -100,7 +100,7 @@ class TLB:
 
     def insert(self, page: int, frame: int = 0) -> None:
         """Install a translation, evicting the set's LRU entry if full."""
-        entries = self._set_of(page)
+        entries = self._sets[page & self._set_mask]
         if page in entries:
             entries.move_to_end(page)
             entries[page] = frame
@@ -112,12 +112,38 @@ class TLB:
 
     def invalidate(self, page: int) -> bool:
         """Shootdown: drop ``page``'s translation if present."""
-        entries = self._set_of(page)
+        entries = self._sets[page & self._set_mask]
         if page in entries:
             del entries[page]
             self.stats.shootdowns += 1
             return True
         return False
+
+    # -- fast-path support -------------------------------------------------
+
+    def fastpath_state(self) -> tuple[list[OrderedDict[int, int]], int, int, int]:
+        """Internals for a flattened simulation loop.
+
+        Returns ``(sets, set_mask, associativity, latency_cycles)``.  The
+        caller may probe/mutate the set dictionaries directly — with
+        exactly the :meth:`lookup`/:meth:`insert` update rules — provided
+        it reports the hit/miss/eviction counts it accumulated through
+        :meth:`add_batched_stats` afterwards.  Shootdowns must still go
+        through :meth:`invalidate` (they are counted live).
+        """
+        return (
+            self._sets,
+            self._set_mask,
+            self.config.associativity,
+            self.config.latency_cycles,
+        )
+
+    def add_batched_stats(self, hits: int, misses: int, evictions: int) -> None:
+        """Fold counters accumulated outside this class into the stats."""
+        stats = self.stats
+        stats.hits += hits
+        stats.misses += misses
+        stats.evictions += evictions
 
     def flush(self) -> None:
         """Drop every translation."""

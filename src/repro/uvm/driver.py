@@ -100,24 +100,46 @@ class UVMDriver:
         self.policy.on_page_in(page, self.stats.faults)
         return frame, evicted
 
-    def handle_fault(self, page: int) -> FaultOutcome:
-        """Service a page fault for ``page``: evict if needed, migrate in.
+    def service_fault(self, page: int) -> tuple[int, Optional[int], int]:
+        """Service a page fault; return ``(frame, evicted_page, bytes)``.
 
-        With ``prefetch_degree > 0`` the next sequential non-resident
-        pages ride along on the same fault service.
+        The allocation-free core of :meth:`handle_fault` — the timing
+        engine's hot path calls this directly so no :class:`FaultOutcome`
+        is built per fault.  With ``prefetch_degree > 0`` the next
+        sequential non-resident pages ride along on the same service.
         """
-        self.stats.faults += 1
+        stats = self.stats
+        page_size = self.page_size_bytes
+        policy = self.policy
+        frame_pool = self.frame_pool
+        page_table = self.page_table
+        stats.faults += 1
         if page in self._ever_touched:
-            self.stats.capacity_faults += 1
+            stats.capacity_faults += 1
         else:
             self._ever_touched.add(page)
-            self.stats.compulsory_faults += 1
+            stats.compulsory_faults += 1
 
-        self.policy.on_fault_pending(page)
-        frame, evicted = self._migrate_in(page)
-        bytes_moved = self.page_size_bytes
+        policy.on_fault_pending(page)
+        # Inlined _migrate_in/_evict_one: one fault means up to four
+        # method calls through here, and this path dominates every
+        # oversubscribed run.
+        evicted = None
+        if frame_pool.is_full():
+            evicted = policy.select_victim()
+            page_table.invalidate(evicted)
+            frame_pool.unmap_page(evicted)
+            if self.tlb_hierarchy is not None:
+                self.tlb_hierarchy.shootdown(evicted)
+            stats.evictions += 1
+            stats.bytes_evicted_out += page_size
+        frame = frame_pool.map_page(page)
+        page_table.install(page, frame, fault_number=stats.faults)
+        stats.bytes_migrated_in += page_size
+        policy.on_page_in(page, stats.faults)
+        bytes_moved = page_size
         if evicted is not None:
-            bytes_moved += self.page_size_bytes  # the eviction writeback
+            bytes_moved += page_size  # the eviction writeback
 
         for ahead in range(1, self.prefetch_degree + 1):
             neighbour = page + ahead
@@ -125,11 +147,16 @@ class UVMDriver:
                 continue
             _, prefetch_victim = self._migrate_in(neighbour)
             self._ever_touched.add(neighbour)
-            self.stats.prefetches += 1
-            bytes_moved += self.page_size_bytes
+            stats.prefetches += 1
+            bytes_moved += page_size
             if prefetch_victim is not None:
-                bytes_moved += self.page_size_bytes
+                bytes_moved += page_size
 
+        return frame, evicted, bytes_moved
+
+    def handle_fault(self, page: int) -> FaultOutcome:
+        """Like :meth:`service_fault`, wrapped in a :class:`FaultOutcome`."""
+        frame, evicted, bytes_moved = self.service_fault(page)
         return FaultOutcome(
             page=page,
             frame=frame,

@@ -11,6 +11,19 @@ from repro.sim.config import GPUConfig
 from repro.tlb.tlb import TLBConfig
 
 
+@pytest.fixture(autouse=True, scope="session")
+def _isolated_cache(tmp_path_factory):
+    """Point the persistent result/trace cache at a throwaway directory.
+
+    Keeps the test suite hermetic: no run ever reads or writes the
+    developer's real ``~/.cache/hpe-repro``.
+    """
+    from repro.sim import cache
+
+    cache.configure(directory=tmp_path_factory.mktemp("repro-cache"))
+    yield
+
+
 @pytest.fixture
 def geometry() -> PageSetGeometry:
     """Paper-default page-set geometry (16 pages per set)."""

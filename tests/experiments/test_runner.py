@@ -1,17 +1,23 @@
 """Tests for the experiment runner."""
 
+import warnings
+
 import pytest
 
 from repro.core.hpe import HPEPolicy
 from repro.experiments.runner import (
+    ENV_JOBS,
     POLICY_NAMES,
     RunKey,
+    TraceCache,
     arithmetic_mean,
     geometric_mean,
     make_policy,
+    resolve_jobs,
     run_application,
     run_matrix,
 )
+from repro.sim import cache as sim_cache
 from repro.policies import (
     ClockProPolicy,
     IdealPolicy,
@@ -81,6 +87,97 @@ class TestRunMatrix:
         with pytest.raises(KeyError):
             matrix.get("STN", "hpe", 0.75)
 
+    def test_progress_goes_to_stderr(self, capsys):
+        run_matrix(["lru"], rates=[0.75], apps=["STN"], scale=0.5,
+                   progress=True, jobs=1)
+        captured = capsys.readouterr()
+        assert "running STN / lru" in captured.err
+        assert captured.out == ""
+
+
+class TestResolveJobs:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert resolve_jobs() == 1
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "3")
+        assert resolve_jobs(2) == 2
+
+    def test_zero_means_all_cores(self, monkeypatch):
+        import os
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_garbage_env_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv(ENV_JOBS, "many")
+        assert resolve_jobs() == 1
+
+
+class TestParallelMatrix:
+    #: The ISSUE's acceptance slice: three apps spanning pattern types.
+    APPS = ["BFS", "STN", "HOT"]
+
+    def test_parallel_matches_serial(self):
+        """jobs=4 must produce bit-identical results to jobs=1."""
+        # Disable the result cache so the parallel path genuinely
+        # simulates in the workers instead of replaying cached entries.
+        sim_cache.configure(enabled=False)
+        try:
+            serial = run_matrix(["lru", "hpe"], rates=[0.75],
+                                apps=self.APPS, scale=0.25, jobs=1)
+            parallel = run_matrix(["lru", "hpe"], rates=[0.75],
+                                  apps=self.APPS, scale=0.25, jobs=4)
+        finally:
+            sim_cache.configure(enabled=True)
+        assert set(serial.results) == set(parallel.results)
+        for key, expected in serial.results.items():
+            actual = parallel.results[key]
+            assert actual.key_metrics() == expected.key_metrics(), key
+
+    def test_parallel_result_extras_survive_transport(self):
+        sim_cache.configure(enabled=False)
+        try:
+            matrix = run_matrix(["hpe"], rates=[0.75], apps=["STN"],
+                                scale=0.25, jobs=2)
+        finally:
+            sim_cache.configure(enabled=True)
+        result = matrix.get("STN", "hpe", 0.75)
+        policy = result.extras["policy"]
+        assert policy.name == "hpe"
+        assert result.extras["rate"] == 0.75
+
+
+class TestTraceCache:
+    def test_lru_bound_evicts_oldest(self):
+        cache = TraceCache(max_entries=2)
+        cache.get("BFS", scale=0.1)
+        cache.get("STN", scale=0.1)
+        cache.get("BFS", scale=0.1)  # refresh BFS: STN is now oldest
+        cache.get("HOT", scale=0.1)
+        assert len(cache) == 2
+        assert ("BFS", 7, 0.1) in cache._cache
+        assert ("HOT", 7, 0.1) in cache._cache
+        assert ("STN", 7, 0.1) not in cache._cache
+
+    def test_hit_returns_same_object(self):
+        cache = TraceCache()
+        first = cache.get("BFS", scale=0.1)
+        assert cache.get("BFS", scale=0.1) is first
+
+    def test_clear(self):
+        cache = TraceCache()
+        cache.get("BFS", scale=0.1)
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_rejects_non_positive_bound(self):
+        with pytest.raises(ValueError):
+            TraceCache(max_entries=0)
+
 
 class TestMeans:
     def test_arithmetic_mean(self):
@@ -91,5 +188,15 @@ class TestMeans:
         assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
 
-    def test_geometric_mean_ignores_non_positive(self):
-        assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+    def test_geometric_mean_warns_on_non_positive(self):
+        with pytest.warns(RuntimeWarning, match="non-positive"):
+            assert geometric_mean([0.0, 2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_geometric_mean_strict_raises(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geometric_mean([-1.0, 2.0], strict=True)
+
+    def test_geometric_mean_all_positive_is_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert geometric_mean([2.0, 8.0], strict=True) == pytest.approx(4.0)

@@ -137,6 +137,64 @@ class TestInvariants:
         assert ideal.faults <= fifo.faults
 
 
+def _run_both_paths(trace, make_policy_fn, capacity, prefetch_degree=0):
+    fast = UVMSimulator(make_policy_fn(), capacity, small_config(),
+                        prefetch_degree=prefetch_degree)
+    reference = UVMSimulator(make_policy_fn(), capacity, small_config(),
+                             prefetch_degree=prefetch_degree)
+    return (
+        fast.run(trace, fast=True),
+        reference.run(trace, fast=False),
+    )
+
+
+class TestFastPathEquivalence:
+    """The flattened replay loop must be bit-identical to the reference."""
+
+    def test_lru_identical(self):
+        trace = [x % 24 for x in range(600)]
+        fast, reference = _run_both_paths(trace, LRUPolicy, 12)
+        assert fast.key_metrics() == reference.key_metrics()
+
+    def test_ideal_identical(self):
+        # Exercises the requires_future / on_trace_position branch.
+        trace = [x % 24 for x in range(600)]
+        fast, reference = _run_both_paths(trace, IdealPolicy, 12)
+        assert fast.key_metrics() == reference.key_metrics()
+
+    def test_hpe_identical(self):
+        from repro.core.hpe import HPEConfig, HPEPolicy
+        trace = ([x % 40 for x in range(400)]
+                 + [x % 17 for x in range(300)])
+        fast, reference = _run_both_paths(
+            trace, lambda: HPEPolicy(HPEConfig(page_set_size=4)), 20
+        )
+        assert fast.key_metrics() == reference.key_metrics()
+
+    def test_prefetch_identical(self):
+        trace = list(range(128)) + [x % 32 for x in range(200)]
+        fast, reference = _run_both_paths(trace, LRUPolicy, 48,
+                                          prefetch_degree=3)
+        assert fast.key_metrics() == reference.key_metrics()
+
+    def test_env_var_selects_reference(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_FASTPATH", "0")
+        trace = [x % 24 for x in range(300)]
+        sim = UVMSimulator(LRUPolicy(), 12, small_config())
+        result = sim.run(trace)  # fast=None → env decides
+        reference = UVMSimulator(LRUPolicy(), 12, small_config()).run(
+            trace, fast=False
+        )
+        assert result.key_metrics() == reference.key_metrics()
+
+    @settings(max_examples=20, deadline=None)
+    @given(trace=st.lists(st.integers(0, 30), min_size=1, max_size=300),
+           capacity=st.integers(1, 16))
+    def test_property_identical(self, trace, capacity):
+        fast, reference = _run_both_paths(trace, LRUPolicy, capacity)
+        assert fast.key_metrics() == reference.key_metrics()
+
+
 class TestPrefetchIntegration:
     def test_streaming_with_prefetch_has_fewer_faults(self):
         trace = list(range(256))

@@ -58,6 +58,48 @@ class TestMain:
         assert "comparisons" in capsys.readouterr().out
 
 
+class TestCacheCommand:
+    def test_info_reports_location(self, capsys):
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert "directory" in out
+        assert "cached results" in out
+
+    def test_clear_empties_cache(self, capsys):
+        from repro.sim import cache as sim_cache
+        main(["run", "--app", "STN", "--policy", "lru", "--scale", "0.5"])
+        assert sim_cache.result_cache().entry_count() >= 1
+        capsys.readouterr()
+        assert main(["cache", "clear"]) == 0
+        assert "cleared" in capsys.readouterr().out
+        assert sim_cache.result_cache().entry_count() == 0
+
+    def test_invalid_action_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "evaporate"])
+
+
+class TestRuntimeFlags:
+    def test_jobs_flag_sets_env(self, capsys, monkeypatch):
+        import os
+        from repro.experiments.runner import ENV_JOBS
+        monkeypatch.delenv(ENV_JOBS, raising=False)
+        assert main(["run", "--app", "STN", "--policy", "lru",
+                     "--scale", "0.5", "--jobs", "2"]) == 0
+        assert os.environ[ENV_JOBS] == "2"
+
+    def test_no_cache_disables_store(self, capsys):
+        from repro.sim import cache as sim_cache
+        main(["cache", "clear"])
+        capsys.readouterr()
+        try:
+            assert main(["run", "--app", "STN", "--policy", "lru",
+                         "--scale", "0.5", "--no-cache"]) == 0
+            assert sim_cache.result_cache().entry_count() == 0
+        finally:
+            sim_cache.configure(enabled=True)
+
+
 class TestTraceAndAnalyze:
     def test_trace_dump_and_analyze_file(self, tmp_path, capsys):
         out = tmp_path / "stn.trace"

@@ -17,7 +17,11 @@ Subcommands
 ``ablation``
     Run the design-choice ablations (DESIGN.md).
 ``trace``
-    Dump an application's page-touch trace to a file.
+    With ``--app/--out``: dump an application's page-touch trace to a
+    file.  With positionals (``trace STN hpe 0.75``): run one observed
+    simulation and record a JSONL *event* trace.
+``stats``
+    Dump the observability metrics registry (optionally after one run).
 ``analyze``
     Reuse-distance / pattern analysis of an application or trace file.
 ``cache``
@@ -45,6 +49,7 @@ from repro.experiments.runner import (
 )
 from repro.experiments.sensitivity import SENSITIVITIES
 from repro.experiments.tables import TABLES
+from repro import obs as obs_module
 from repro.sim import cache as sim_cache
 from repro.workloads.suite import all_applications, get_application
 from repro.workloads.trace_io import load_trace, save_trace
@@ -64,6 +69,10 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-cache", action="store_true",
                         help="bypass the persistent result/trace cache "
                              "for this invocation")
+    parser.add_argument("--obs", action="store_true",
+                        help="enable the observability layer (metrics "
+                             "registry + interval time-series; same as "
+                             "REPRO_OBS=1)")
 
 
 def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
@@ -112,10 +121,39 @@ def build_parser() -> argparse.ArgumentParser:
                        help="comma-separated variant subset")
     _add_common(abl_p)
 
-    trace_p = sub.add_parser("trace", help="dump an application trace")
-    trace_p.add_argument("--app", required=True)
-    trace_p.add_argument("--out", required=True, help="output path (.gz ok)")
+    trace_p = sub.add_parser(
+        "trace",
+        help="dump an application page trace (--app/--out) or record a "
+             "JSONL event trace (trace APP [POLICY] [RATE])",
+    )
+    trace_p.add_argument("app_pos", nargs="?", metavar="APP", default=None,
+                         help="application abbreviation (event-trace mode)")
+    trace_p.add_argument("policy_pos", nargs="?", metavar="POLICY",
+                         default="hpe",
+                         help="policy for the event trace (default hpe)")
+    trace_p.add_argument("rate_pos", nargs="?", metavar="RATE", type=float,
+                         default=0.75,
+                         help="oversubscription rate (default 0.75)")
+    trace_p.add_argument("--app", default=None,
+                         help="application for page-trace dump mode")
+    trace_p.add_argument("--out", default=None,
+                         help="output path (.gz ok for page traces; "
+                              "default APP-POLICY-RATE.events.jsonl in "
+                              "event-trace mode)")
     _add_common(trace_p)
+
+    stats_p = sub.add_parser(
+        "stats", help="dump the observability metrics registry"
+    )
+    stats_p.add_argument("app_pos", nargs="?", metavar="APP", default=None,
+                         help="run this application observed, then dump")
+    stats_p.add_argument("policy_pos", nargs="?", metavar="POLICY",
+                         default="hpe",
+                         help="policy (default hpe)")
+    stats_p.add_argument("rate_pos", nargs="?", metavar="RATE", type=float,
+                         default=0.75,
+                         help="oversubscription rate (default 0.75)")
+    _add_common(stats_p)
 
     ana_p = sub.add_parser("analyze", help="analyse a trace or application")
     group = ana_p.add_mutually_exclusive_group(required=True)
@@ -139,12 +177,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _apply_runtime_flags(args: argparse.Namespace) -> None:
-    """Honour the global ``--jobs`` / ``--no-cache`` switches."""
+    """Honour the global ``--jobs`` / ``--no-cache`` / ``--obs`` switches."""
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
         os.environ[ENV_JOBS] = str(jobs)
     if getattr(args, "no_cache", False):
         sim_cache.configure(enabled=False)
+    if getattr(args, "obs", False):
+        obs_module.configure(enabled=True)
 
 
 def _common_kwargs(args: argparse.Namespace) -> dict:
@@ -155,8 +195,71 @@ def _common_kwargs(args: argparse.Namespace) -> dict:
     return kwargs
 
 
+def _event_trace(args: argparse.Namespace) -> int:
+    """``trace APP [POLICY] [RATE]``: one observed run, JSONL events out."""
+    from repro.obs import (
+        JSONLEventTrace,
+        Observation,
+        read_events,
+        summarize_events,
+        validate_file,
+    )
+
+    app = args.app_pos.upper()
+    policy = args.policy_pos
+    rate = args.rate_pos
+    out = args.out or f"{app}-{policy}-{int(rate * 100)}.events.jsonl"
+    sink = JSONLEventTrace(out, validate=True)
+    with Observation(trace=sink) as observation:
+        result = run_application(
+            app, policy, rate,
+            seed=args.seed, scale=args.scale, obs=observation,
+        )
+    count = validate_file(out)
+    summary = summarize_events(read_events(out))
+    print(f"wrote {count} schema-valid events to {out}")
+    print(f"workload         : {result.workload_name}")
+    print(f"policy           : {result.policy_name}")
+    print(f"faults           : {result.faults}")
+    print(f"evictions        : {result.evictions}")
+    print("events by type   :")
+    for event_type, event_count in sorted(summary["by_type"].items()):
+        print(f"  {event_type:16s} {event_count}")
+    if summary["strategy_switches"]:
+        print("strategy switches:")
+        for fault_number, from_strategy, to_strategy in \
+                summary["strategy_switches"]:
+            print(f"  fault {fault_number}: "
+                  f"{from_strategy} -> {to_strategy}")
+    return 0
+
+
+def _dump_stats(args: argparse.Namespace) -> int:
+    """``stats [APP [POLICY] [RATE]]``: dump a metrics registry."""
+    from repro.obs import Observation
+
+    if args.app_pos is None:
+        print(f"observability    : "
+              f"{'enabled' if obs_module.enabled() else 'disabled'} "
+              f"(REPRO_OBS / --obs)")
+        registry = obs_module.MetricsRegistry()
+        sim_cache.result_cache().stats.observe_into(registry)
+        for line in registry.lines():
+            print(line)
+        return 0
+    with Observation() as observation:
+        run_application(
+            args.app_pos.upper(), args.policy_pos, args.rate_pos,
+            seed=args.seed, scale=args.scale, obs=observation,
+        )
+    for line in observation.registry.lines():
+        print(line)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
     _apply_runtime_flags(args)
 
     if args.command == "cache":
@@ -203,6 +306,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"evictions        : {result.evictions}")
         print(f"cycles           : {result.cycles}")
         print(f"IPC              : {result.ipc:.4f}")
+        timeseries = result.extras.get("timeseries")
+        if timeseries is not None:
+            print(f"intervals obs.   : {len(timeseries)} snapshots")
         print(f"(simulated in {elapsed:.2f}s)")
         return 0
 
@@ -237,12 +343,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     if args.command == "trace":
+        if args.app_pos is not None:
+            return _event_trace(args)
+        if not args.app or not args.out:
+            parser.error(
+                "trace needs either positional APP [POLICY] [RATE] "
+                "(event-trace mode) or --app and --out (page-trace dump)"
+            )
         trace = get_application(args.app).build(seed=args.seed,
                                                 scale=args.scale)
         save_trace(trace, args.out)
         print(f"wrote {len(trace)} episodes ({trace.footprint_pages} pages) "
               f"to {args.out}")
         return 0
+
+    if args.command == "stats":
+        return _dump_stats(args)
 
     if args.command == "analyze":
         from repro.analysis import infer_pattern, lru_miss_curve, profile

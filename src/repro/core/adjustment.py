@@ -92,6 +92,13 @@ class AdjustmentStats:
     jump_adjustments: int = 0
     segments: list[StrategySegment] = field(default_factory=list)
 
+    def observe_into(self, registry) -> None:
+        """Fold the whole-run tallies into a ``MetricsRegistry``."""
+        registry.inc("adjustment.wrong_evictions", self.wrong_evictions_total)
+        registry.inc("adjustment.strategy_switches", self.strategy_switches)
+        registry.inc("adjustment.jump_adjustments", self.jump_adjustments)
+        registry.inc("adjustment.segments", len(self.segments))
+
 
 class DynamicAdjustment:
     """Algorithm 1: per-category strategy selection and switching."""
@@ -132,6 +139,9 @@ class DynamicAdjustment:
         self._current_stint = 0
         self._tried = {self._strategy}
         self._fault_count = 0
+        #: Optional :class:`repro.obs.Observation` receiving switch/jump
+        #: events; ``None`` (the default) keeps adjustment silent.
+        self.obs = None
         self.stats = AdjustmentStats()
         self.stats.segments.append(
             StrategySegment(self._strategy, start_fault=0, jump=0)
@@ -172,6 +182,10 @@ class DynamicAdjustment:
             if self.jump_allowed:
                 self.jump += self.jump_distance
                 self.stats.jump_adjustments += 1
+                if self.obs is not None:
+                    self.obs.emit(
+                        "jump", fault_number=self._fault_count, jump=self.jump
+                    )
                 self._begin_segment(self._strategy)
             return
         if not self._switching_allowed:
@@ -188,11 +202,19 @@ class DynamicAdjustment:
         else:
             target = self._strategy
         if target is not self._strategy:
-            self._last_stint[self._strategy] = self._current_stint
+            previous = self._strategy
+            self._last_stint[previous] = self._current_stint
             self._current_stint = 0
             self._strategy = target
             self._tried.add(target)
             self.stats.strategy_switches += 1
+            if self.obs is not None:
+                self.obs.emit(
+                    "strategy_switch",
+                    fault_number=self._fault_count,
+                    from_strategy=previous.value,
+                    to_strategy=target.value,
+                )
             self._begin_segment(target)
 
     def _begin_segment(self, strategy: StrategyKind) -> None:
@@ -203,11 +225,18 @@ class DynamicAdjustment:
         )
 
     def timeline(self, total_faults: int) -> list[StrategySegment]:
-        """Return closed segments covering ``[0, total_faults)``."""
+        """Return closed segments covering ``[0, total_faults)``.
+
+        A stale/small ``total_faults`` (e.g. a caller passing a count
+        captured before the final adjustment) must never yield a segment
+        with ``end_fault < start_fault``, so the final segment's end is
+        clamped to its own start.
+        """
         segments = [
             StrategySegment(s.strategy, s.start_fault, s.end_fault, s.jump)
             for s in self.stats.segments
         ]
         if segments and segments[-1].end_fault < 0:
-            segments[-1].end_fault = total_faults
+            last = segments[-1]
+            last.end_fault = max(total_faults, last.start_fault)
         return segments

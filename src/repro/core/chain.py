@@ -80,6 +80,10 @@ class PageSetChain:
         """Number of entries in the new partition."""
         return len(self._new)
 
+    def partition_sizes(self) -> tuple[int, int, int]:
+        """``(old, middle, new)`` sizes — one observability snapshot."""
+        return len(self._old), len(self._middle), len(self._new)
+
     # ------------------------------------------------------------------
     # Mutation
     # ------------------------------------------------------------------

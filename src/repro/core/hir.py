@@ -35,15 +35,36 @@ class HIRStats:
 
     records: int = 0
     conflicts: int = 0
+    #: Transfers that actually carried entries.
     transfers: int = 0
+    #: Transfers triggered while no entry was touched (quiet intervals);
+    #: counted apart so they cannot deflate the Fig. 15 mean.
+    empty_transfers: int = 0
     entries_transferred: int = 0
 
     @property
+    def total_transfers(self) -> int:
+        """Every transfer the mechanism performed, payload or not."""
+        return self.transfers + self.empty_transfers
+
+    @property
     def mean_entries_per_transfer(self) -> float:
-        """Average populated entries shipped per transfer (Fig. 15)."""
+        """Average populated entries per *non-empty* transfer (Fig. 15).
+
+        Empty transfers are excluded: an app with quiet intervals would
+        otherwise report an artificially deflated mean.
+        """
         if not self.transfers:
             return 0.0
         return self.entries_transferred / self.transfers
+
+    def observe_into(self, registry) -> None:
+        """Fold the lifetime tallies into a ``MetricsRegistry``."""
+        registry.inc("hir.records", self.records)
+        registry.inc("hir.conflicts", self.conflicts)
+        registry.inc("hir.transfers", self.transfers)
+        registry.inc("hir.empty_transfers", self.empty_transfers)
+        registry.inc("hir.entries_transferred", self.entries_transferred)
 
 
 class _HIREntry:
@@ -131,8 +152,11 @@ class HIRCache:
             entry = self._sets[tag & self._set_mask][tag]
             payload.append((tag, entry.counters))
         self.flush()
-        self.stats.transfers += 1
-        self.stats.entries_transferred += len(payload)
+        if payload:
+            self.stats.transfers += 1
+            self.stats.entries_transferred += len(payload)
+        else:
+            self.stats.empty_transfers += 1
         return payload
 
     def flush(self) -> None:

@@ -43,6 +43,7 @@ from repro.core.pageset import (
 )
 from repro.core.strategies import SearchResult, StrategyKind, select
 from repro.memory.addressing import PageSetGeometry
+from repro.obs import finite_or_none as _finite_or_none
 from repro.policies.base import EvictionPolicy, PolicyError
 
 
@@ -128,11 +129,84 @@ class HPEPolicy(EvictionPolicy):
         self._full_mask = (1 << config.page_set_size) - 1
         self._resident_pages = 0
         self._pending_transfer_bytes = 0
+        #: Optional :class:`repro.obs.Observation`; ``None`` keeps every
+        #: hook a single pointer check on the fault path.
+        self._obs = None
         # Per-fault hot-path copies of frozen config values (a chained
         # dataclass attribute read per fault is measurable on big runs).
         self._use_hir = config.use_hir
         self._transfer_interval = config.transfer_interval
         self._interval_length = config.interval_length
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+
+    def attach_observation(self, obs) -> None:
+        """Wire an :class:`repro.obs.Observation` into HPE's internals.
+
+        Interval advances then record time-series snapshots, HIR ingests
+        and classification/adjustment actions emit trace events.  Called
+        by the engine before replay; never during one.
+        """
+        self._obs = obs
+        if self.adjustment is not None:
+            self.adjustment.obs = obs
+
+    def _snapshot_interval(self) -> None:
+        """One per-interval snapshot of the observable internals."""
+        obs = self._obs
+        chain = self.chain
+        old, middle, new = chain.partition_sizes()
+        adjustment = self.adjustment
+        obs.timeseries.record({
+            "interval": chain.intervals,
+            "fault_number": self.stats.faults,
+            "old": old,
+            "middle": middle,
+            "new": new,
+            "chain_length": old + middle + new,
+            "resident_pages": self._resident_pages,
+            "strategy": (
+                adjustment.strategy.value if adjustment is not None else None
+            ),
+            "jump": adjustment.jump if adjustment is not None else 0,
+            "wrong_evictions": (
+                adjustment.stats.wrong_evictions_total
+                if adjustment is not None else 0
+            ),
+            "hir_populated": self.hir.populated,
+        })
+        obs.registry.observe("hpe.chain.length", old + middle + new)
+        obs.registry.observe("hpe.chain.old_size", old)
+        obs.emit(
+            "interval",
+            interval=chain.intervals,
+            fault_number=self.stats.faults,
+            old=old,
+            middle=middle,
+            new=new,
+        )
+
+    def observe_into(self, registry) -> None:
+        """Fold HPE / HIR / adjustment whole-run tallies into a registry."""
+        stats = self.stats
+        registry.inc("hpe.faults", stats.faults)
+        registry.inc("hpe.searches", stats.searches)
+        registry.inc("hpe.comparisons", stats.comparisons_total)
+        registry.inc("hpe.divisions", stats.divisions)
+        registry.inc("hpe.hir_ingests", stats.hir_transfers)
+        registry.inc("hpe.hir_bytes", stats.hir_bytes_transferred)
+        registry.inc("hpe.intervals", self.chain.intervals)
+        registry.set_gauge("hpe.resident_pages", self._resident_pages)
+        registry.set_gauge(
+            "hpe.category",
+            self.classification.category.value
+            if self.classification is not None else "unclassified",
+        )
+        self.hir.stats.observe_into(registry)
+        if self.adjustment is not None:
+            self.adjustment.stats.observe_into(registry)
 
     # ------------------------------------------------------------------
     # Routing (Fig. 6 steps 1–4)
@@ -238,6 +312,15 @@ class HPEPolicy(EvictionPolicy):
         bytes_moved = self.hir.transfer_bytes(len(payload))
         self.stats.hir_bytes_transferred += bytes_moved
         self._pending_transfer_bytes += bytes_moved
+        obs = self._obs
+        if obs is not None:
+            obs.registry.observe("hpe.hir.entries_per_transfer", len(payload))
+            obs.emit(
+                "hir_transfer",
+                fault_number=self.stats.faults,
+                entries=len(payload),
+                bytes=bytes_moved,
+            )
         for tag, counters in payload:
             for offset, count in enumerate(counters):
                 if count:
@@ -270,6 +353,8 @@ class HPEPolicy(EvictionPolicy):
             self.chain.advance_interval()
             if adjustment is not None:
                 adjustment.on_interval_end()
+            if self._obs is not None:
+                self._snapshot_interval()
 
     # ------------------------------------------------------------------
     # Classification (lazy: runs when memory is first full)
@@ -297,6 +382,21 @@ class HPEPolicy(EvictionPolicy):
             allow_irregular1_switch=self.config.allow_irregular1_switch,
             enabled=self.config.enable_adjustment,
         )
+        obs = self._obs
+        if obs is not None:
+            self.adjustment.obs = obs
+            census = classification.census
+            obs.registry.set_gauge(
+                "hpe.first_full.old_sets", self.chain.old_size
+            )
+            obs.emit(
+                "classification",
+                fault_number=self.stats.faults,
+                category=classification.category.value,
+                # inf (a zero denominator) is not valid JSON: send null.
+                ratio1=_finite_or_none(census.ratio1),
+                ratio2=_finite_or_none(census.ratio2),
+            )
 
     @property
     def category(self) -> Optional[Category]:

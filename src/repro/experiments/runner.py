@@ -19,6 +19,8 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.core.hpe import HPEConfig, HPEPolicy
+from repro import obs as obs_module
+from repro.obs import MetricsRegistry, Observation
 from repro.sim import cache as sim_cache
 from repro.policies import (
     ARCPolicy,
@@ -158,14 +160,33 @@ def run_application(
     config: Optional[GPUConfig] = None,
     hpe_config: Optional[HPEConfig] = None,
     use_cache: Optional[bool] = None,
+    obs=None,
 ) -> SimulationResult:
     """Run one (application, policy, oversubscription-rate) simulation.
 
     Results are memoised in the persistent cache (see
     :mod:`repro.sim.cache`) keyed by every input that can change them;
     ``use_cache=False`` forces a fresh simulation for this call only.
+
+    ``obs`` selects observability for this run: ``None`` consults the
+    process-wide setting (``REPRO_OBS`` / ``--obs``), ``False`` forces
+    it off, ``True`` builds a fresh registry-only
+    :class:`~repro.obs.Observation`, and an ``Observation`` instance is
+    used as-is (event traces included).  Observed runs always simulate —
+    a cached result has no trace or time-series to offer — and are not
+    stored back, keeping cache entries free of observation payloads.
     """
+    if obs is None:
+        obs = obs_module.enabled()
+    if obs is False:
+        observation = None
+    elif obs is True:
+        observation = Observation()
+    else:
+        observation = obs
     caching = sim_cache.cache_enabled() if use_cache is None else use_cache
+    if observation is not None:
+        caching = False
     digest = sim_cache.fingerprint(
         app, policy, rate,
         seed=seed, scale=scale, config=config, hpe_config=hpe_config,
@@ -180,11 +201,14 @@ def run_application(
     policy_obj = make_policy(
         policy, capacity, spec=spec, hpe_config=hpe_config, seed=seed
     )
-    simulator = UVMSimulator(policy_obj, capacity, config)
+    simulator = UVMSimulator(policy_obj, capacity, config, obs=observation)
     result = simulator.run(trace.pages, workload_name=spec.abbr)
     result.extras["policy"] = policy_obj
     result.extras["pattern_type"] = spec.pattern_type
     result.extras["rate"] = rate
+    if observation is not None:
+        sim_cache.result_cache().stats.observe_into(observation.registry)
+        result.extras["metrics"] = observation.registry.to_dict()
     if caching:
         try:
             sim_cache.result_cache().put(digest, result)
@@ -198,9 +222,17 @@ class ResultMatrix:
     """Results keyed by (app, policy, rate) with derived-metric helpers."""
 
     results: dict[RunKey, SimulationResult] = field(default_factory=dict)
+    #: Union of the per-run metric registries (observed runs only).
+    #: Parallel workers serialise their registries inside
+    #: ``extras["metrics"]``; :meth:`put` folds them back here, so the
+    #: parent process sees one merged registry for the whole matrix.
+    metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
 
     def put(self, key: RunKey, result: SimulationResult) -> None:
         self.results[key] = result
+        run_metrics = result.extras.get("metrics")
+        if run_metrics:
+            self.metrics.merge(MetricsRegistry.from_dict(run_metrics))
 
     def get(self, app: str, policy: str, rate: float) -> SimulationResult:
         return self.results[RunKey(app.upper(), policy, rate)]
@@ -250,10 +282,14 @@ def _run_job(job: tuple) -> SimulationResult:
     the worker builds (or disk-loads) the trace on its side — and only
     the :class:`SimulationResult` crosses back.
     """
-    app, policy, rate, seed, scale, config, hpe_config = job
+    app, policy, rate, seed, scale, config, hpe_config, observe = job
+    # Workers observe registry-only (obs=True): an Observation carrying
+    # an open JSONL handle must never cross the process boundary.  The
+    # registry travels back serialised inside ``extras["metrics"]``.
     return run_application(
         app, policy, rate,
         seed=seed, scale=scale, config=config, hpe_config=hpe_config,
+        obs=bool(observe),
     )
 
 
@@ -287,7 +323,12 @@ def run_matrix(
         for policy in policies
     ]
     matrix = ResultMatrix()
+    if not keys:
+        # No work: return the empty matrix before any pool is sized —
+        # ``Pool(processes=0)`` raises on every platform.
+        return matrix
     jobs = resolve_jobs(jobs)
+    observing = obs_module.enabled()
 
     def note(key: RunKey) -> None:
         if progress:
@@ -313,8 +354,12 @@ def run_matrix(
     # platform default where fork is unavailable.
     methods = mp.get_all_start_methods()
     ctx = mp.get_context("fork" if "fork" in methods else None)
+    # The observe flag travels in the payload: a spawn-context worker
+    # re-imports the world and loses any configure(enabled=True) made by
+    # the CLI in this process.
     payloads = [
-        (key.app, key.policy, key.rate, seed, scale, config, hpe_config)
+        (key.app, key.policy, key.rate, seed, scale, config, hpe_config,
+         observing)
         for key in keys
     ]
     with ctx.Pool(processes=min(jobs, len(keys))) as pool:
@@ -325,21 +370,26 @@ def run_matrix(
 
 
 def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
-    """Geometric mean over the positive values.
+    """Geometric mean over the positive, finite values.
 
-    Non-positive values are undefined under a geometric mean; dropping
-    them silently could let a zero-IPC run *inflate* a reported mean, so
-    any dropped value triggers a :class:`RuntimeWarning` — or a
-    :class:`ValueError` under ``strict=True``.
+    Non-positive values are undefined under a geometric mean, and ``nan``
+    marks a ratio that does not exist (e.g. a zero-IPC baseline in
+    :meth:`~repro.sim.results.SimulationResult.speedup_over`); dropping
+    either silently could let a degenerate run *inflate* a reported
+    mean, so any dropped value triggers a :class:`RuntimeWarning` — or a
+    :class:`ValueError` under ``strict=True``.  (``nan > 0`` is false,
+    so the positivity filter removes NaN too.)
     """
     values = list(values)
     logs = [math.log(v) for v in values if v > 0]
     dropped = len(values) - len(logs)
     if dropped:
+        nans = sum(1 for v in values if math.isnan(v))
+        detail = f" ({nans} NaN)" if nans else ""
         message = (
-            f"geometric_mean: dropping {dropped} non-positive value(s) "
-            f"out of {len(values)}; the reported mean covers only the "
-            "positive entries"
+            f"geometric_mean: dropping {dropped} non-positive or "
+            f"undefined value(s){detail} out of {len(values)}; the "
+            "reported mean covers only the positive entries"
         )
         if strict:
             raise ValueError(message)
@@ -350,8 +400,20 @@ def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
 
 
 def arithmetic_mean(values: Iterable[float]) -> float:
-    """Plain mean (the paper reports arithmetic averages)."""
+    """Plain mean (the paper reports arithmetic averages).
+
+    ``nan`` entries — undefined ratios from degenerate baselines — are
+    skipped with a :class:`RuntimeWarning` instead of poisoning the
+    whole mean.
+    """
     values = list(values)
-    if not values:
+    kept = [v for v in values if not math.isnan(v)]
+    if len(kept) != len(values):
+        warnings.warn(
+            f"arithmetic_mean: skipping {len(values) - len(kept)} NaN "
+            f"value(s) out of {len(values)}",
+            RuntimeWarning, stacklevel=2,
+        )
+    if not kept:
         return 0.0
-    return sum(values) / len(values)
+    return sum(kept) / len(kept)

@@ -1,0 +1,143 @@
+"""repro.obs — the observability layer (metrics, time-series, event traces).
+
+Three cooperating pieces, bundled per run by an :class:`Observation`:
+
+* :class:`~repro.obs.registry.MetricsRegistry` — counters / gauges /
+  histograms, merged across parallel matrix workers;
+* :class:`~repro.obs.timeseries.TimeSeriesRecorder` — one snapshot of
+  policy internals per interval, returned in
+  ``SimulationResult.extras["timeseries"]``;
+* :class:`~repro.obs.events.JSONLEventTrace` — an optional structured
+  per-event JSONL stream (fault, eviction, HIR transfer, interval
+  advance, classification, strategy switch/jump).
+
+Overhead discipline
+-------------------
+Observability is **off by default** and adds near-zero cost when off:
+instrumented components hold an ``Observation`` reference that is
+``None`` when disabled and guard every hook with a single ``is not
+None`` check on the *fault* path (never the per-trace-event hot loop).
+Enable it with ``REPRO_OBS=1`` or the ``--obs`` CLI flag; simulated
+behaviour (``key_metrics()``) is bit-identical either way because the
+hooks only read state.
+
+Observed runs bypass the persistent result cache — a trace/time-series
+is only meaningful for a run that actually simulated.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+from repro.obs.events import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    EventSchemaError,
+    JSONLEventTrace,
+    finite_or_none,
+    read_events,
+    summarize_events,
+    validate_event,
+    validate_file,
+)
+from repro.obs.registry import HistogramData, MetricsRegistry
+from repro.obs.timeseries import TimeSeriesRecorder
+
+#: Environment variable enabling observability (``1``/``on``/``true``).
+ENV_OBS = "REPRO_OBS"
+
+_TRUTHY = {"1", "on", "true", "yes", "enabled"}
+
+#: Process-level override set by :func:`configure` (CLI ``--obs``);
+#: ``None`` means "defer to the environment".
+_enabled_override: Optional[bool] = None
+
+
+def configure(enabled: Optional[bool] = None) -> None:
+    """Override observability for this process (wins over ``REPRO_OBS``)."""
+    global _enabled_override
+    if enabled is not None:
+        _enabled_override = enabled
+
+
+def enabled() -> bool:
+    """Is observability on (configure() override, then ``REPRO_OBS``)?"""
+    if _enabled_override is not None:
+        return _enabled_override
+    raw = os.environ.get(ENV_OBS, "").strip().lower()
+    return raw in _TRUTHY
+
+
+class Observation:
+    """Everything one observed run collects: registry + series + trace.
+
+    ``trace`` is optional and stays ``None`` for registry-only
+    observation (the parallel-matrix worker mode: an open file handle
+    must never cross the process boundary).
+    """
+
+    __slots__ = ("registry", "timeseries", "trace")
+
+    def __init__(
+        self,
+        registry: Optional[MetricsRegistry] = None,
+        timeseries: Optional[TimeSeriesRecorder] = None,
+        trace: Optional[JSONLEventTrace] = None,
+    ) -> None:
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.timeseries = (
+            timeseries if timeseries is not None else TimeSeriesRecorder()
+        )
+        self.trace = trace
+
+    def emit(self, event_type: str, **fields: object) -> None:
+        """Forward one event to the trace sink, if any."""
+        if self.trace is not None:
+            self.trace.emit(event_type, **fields)
+
+    def close(self) -> None:
+        """Flush and close the trace sink, if any."""
+        if self.trace is not None:
+            self.trace.close()
+
+    def __enter__(self) -> "Observation":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+    def __getstate__(self) -> dict:
+        """Pickle support: the trace sink never crosses process lines."""
+        return {
+            "registry": self.registry,
+            "timeseries": self.timeseries,
+            "trace": None,
+        }
+
+    def __setstate__(self, state: dict) -> None:
+        self.registry = state["registry"]
+        self.timeseries = state["timeseries"]
+        self.trace = None
+
+
+__all__ = [
+    "ENV_OBS",
+    "EVENT_SCHEMA",
+    "EVENT_TYPES",
+    "EventSchemaError",
+    "HistogramData",
+    "JSONLEventTrace",
+    "MetricsRegistry",
+    "Observation",
+    "TRACE_SCHEMA_VERSION",
+    "TimeSeriesRecorder",
+    "configure",
+    "enabled",
+    "finite_or_none",
+    "read_events",
+    "summarize_events",
+    "validate_event",
+    "validate_file",
+]

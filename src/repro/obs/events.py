@@ -1,0 +1,268 @@
+"""Structured JSONL event traces and their schema.
+
+One simulated run, traced, is a sequence of JSON objects — one per line —
+each describing a driver/policy-level event.  The stream answers the
+paper's *internal-dynamics* questions (why did BFS switch strategies?
+when did the old partition drain?) without print debugging, and is the
+per-event half of the observability layer (the aggregate half is
+:mod:`repro.obs.registry`).
+
+Schema
+------
+Every event carries:
+
+* ``type`` — one of :data:`EVENT_TYPES`;
+* ``seq`` — 0-based monotonic sequence number within the stream;
+
+plus the per-type required fields of :data:`EVENT_SCHEMA`.  A field spec
+is a tuple of accepted Python types; ``None`` is accepted only where
+``type(None)`` is listed (e.g. an infinite classification ratio is
+serialised as ``null`` — JSONL must stay strictly valid JSON, which has
+no ``Infinity``).  Extra fields are allowed but must be JSON scalars.
+
+The schema is versioned by :data:`TRACE_SCHEMA_VERSION`, recorded in the
+``run_start`` event that opens every stream.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+from typing import IO, Iterable, Iterator, Optional, Union
+
+#: Bump when the event stream's observable structure changes.
+TRACE_SCHEMA_VERSION = 1
+
+_NoneType = type(None)
+
+#: Per-type required fields (beyond ``type`` and ``seq``) and the Python
+#: types each accepts after a JSON round-trip.
+EVENT_SCHEMA: dict[str, dict[str, tuple]] = {
+    # Stream bracket: identifies the run and stamps the schema version.
+    "run_start": {
+        "schema": (int,),
+        "workload": (str,),
+        "policy": (str,),
+        "capacity_pages": (int,),
+        "trace_length": (int,),
+    },
+    "run_end": {
+        "cycles": (int,),
+        "faults": (int,),
+        "evictions": (int,),
+    },
+    # One per serviced page fault (driver side).
+    "fault": {
+        "page": (int,),
+        "fault_number": (int,),
+        "kind": (str,),  # "compulsory" | "capacity"
+    },
+    # One per evicted page (demand or prefetch-displacement).
+    "eviction": {
+        "page": (int,),
+        "fault_number": (int,),
+    },
+    # HIR payload ingested by the driver (HPE only).
+    "hir_transfer": {
+        "fault_number": (int,),
+        "entries": (int,),
+        "bytes": (int,),
+    },
+    # Chain partition advance at the end of each interval (HPE only).
+    "interval": {
+        "interval": (int,),
+        "fault_number": (int,),
+        "old": (int,),
+        "middle": (int,),
+        "new": (int,),
+    },
+    # First-full classification (HPE only; null ratio = infinite).
+    "classification": {
+        "fault_number": (int,),
+        "category": (str,),
+        "ratio1": (int, float, _NoneType),
+        "ratio2": (int, float, _NoneType),
+    },
+    # Dynamic adjustment actions (HPE only).
+    "strategy_switch": {
+        "fault_number": (int,),
+        "from_strategy": (str,),
+        "to_strategy": (str,),
+    },
+    "jump": {
+        "fault_number": (int,),
+        "jump": (int,),
+    },
+}
+
+#: The known event types, in schema order.
+EVENT_TYPES = tuple(EVENT_SCHEMA)
+
+_SCALARS = (str, int, float, bool, _NoneType)
+
+
+class EventSchemaError(ValueError):
+    """An event does not conform to :data:`EVENT_SCHEMA`."""
+
+
+def finite_or_none(value: float) -> Optional[float]:
+    """JSON-safe form of a ratio: ``None`` replaces ``inf``/``nan``."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return None
+    return value
+
+
+def validate_event(event: object) -> None:
+    """Raise :class:`EventSchemaError` unless ``event`` is schema-valid."""
+    if not isinstance(event, dict):
+        raise EventSchemaError(f"event must be an object, got {type(event).__name__}")
+    event_type = event.get("type")
+    if event_type not in EVENT_SCHEMA:
+        raise EventSchemaError(f"unknown event type {event_type!r}")
+    seq = event.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise EventSchemaError(f"{event_type}: 'seq' must be a non-negative int")
+    fields = EVENT_SCHEMA[event_type]
+    for name, accepted in fields.items():
+        if name not in event:
+            raise EventSchemaError(f"{event_type}: missing field {name!r}")
+        value = event[name]
+        if isinstance(value, bool) and bool not in accepted:
+            raise EventSchemaError(
+                f"{event_type}: field {name!r} has invalid type bool"
+            )
+        if not isinstance(value, accepted):
+            raise EventSchemaError(
+                f"{event_type}: field {name!r} has invalid type "
+                f"{type(value).__name__}"
+            )
+        if isinstance(value, float) and not math.isfinite(value):
+            raise EventSchemaError(
+                f"{event_type}: field {name!r} must be finite, got {value!r}"
+            )
+    for name, value in event.items():
+        if name in ("type", "seq") or name in fields:
+            continue
+        if not isinstance(value, _SCALARS):
+            raise EventSchemaError(
+                f"{event_type}: extra field {name!r} must be a JSON scalar"
+            )
+
+
+class JSONLEventTrace:
+    """Append-structured sink writing one JSON object per line.
+
+    The output file is opened lazily on the first :meth:`emit` and every
+    event gets a monotonic ``seq``.  With ``validate=True`` each event is
+    checked against :data:`EVENT_SCHEMA` before it is written, so a
+    malformed instrumentation site fails loudly instead of producing an
+    unparseable stream.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, "Path"],
+        validate: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.validate = validate
+        self._stream: Optional[IO[str]] = None
+        self._seq = 0
+        #: events written, by type (a free summary for CLI output).
+        self.counts: dict[str, int] = {}
+
+    @property
+    def events_written(self) -> int:
+        return self._seq
+
+    def emit(self, event_type: str, **fields: object) -> None:
+        """Write one event of ``event_type`` with ``fields``."""
+        event: dict = {"type": event_type, "seq": self._seq}
+        event.update(fields)
+        if self.validate:
+            validate_event(event)
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._stream = self.path.open("w", encoding="utf-8")
+        self._stream.write(
+            json.dumps(event, separators=(",", ":"), allow_nan=False) + "\n"
+        )
+        self._seq += 1
+        self.counts[event_type] = self.counts.get(event_type, 0) + 1
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "JSONLEventTrace":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def read_events(path: Union[str, "Path"]) -> Iterator[dict]:
+    """Yield every event of a JSONL trace file (no validation)."""
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for line in stream:
+            line = line.strip()
+            if line:
+                yield json.loads(line)
+
+
+def validate_file(path: Union[str, "Path"]) -> int:
+    """Validate every line of a trace file; return the event count.
+
+    Raises :class:`EventSchemaError` (with the 1-based line number) on
+    the first invalid line, including unparseable JSON.
+    """
+    count = 0
+    with Path(path).open("r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise EventSchemaError(
+                    f"{path}:{lineno}: not valid JSON ({error})"
+                ) from error
+            try:
+                validate_event(event)
+            except EventSchemaError as error:
+                raise EventSchemaError(f"{path}:{lineno}: {error}") from error
+            count += 1
+    return count
+
+
+def summarize_events(events: Iterable[dict]) -> dict:
+    """Aggregate an event stream into a small summary dict."""
+    by_type: dict[str, int] = {}
+    first_fault = last_fault = None
+    switches: list[tuple[int, str, str]] = []
+    intervals = 0
+    for event in events:
+        event_type = event.get("type", "?")
+        by_type[event_type] = by_type.get(event_type, 0) + 1
+        if event_type == "fault":
+            if first_fault is None:
+                first_fault = event["fault_number"]
+            last_fault = event["fault_number"]
+        elif event_type == "interval":
+            intervals += 1
+        elif event_type == "strategy_switch":
+            switches.append(
+                (event["fault_number"], event["from_strategy"],
+                 event["to_strategy"])
+            )
+    return {
+        "total": sum(by_type.values()),
+        "by_type": by_type,
+        "first_fault": first_fault,
+        "last_fault": last_fault,
+        "intervals": intervals,
+        "strategy_switches": switches,
+    }

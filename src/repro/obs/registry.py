@@ -1,0 +1,191 @@
+"""Process-local metrics registry: counters, gauges and histograms.
+
+The registry is the aggregate half of the observability layer (the JSONL
+event trace in :mod:`repro.obs.events` is the per-event half).  It is a
+plain in-process object — no locks, no background threads — because every
+simulation runs single-threaded and parallel matrix workers each build
+their own registry and ship it back as a plain dict for the parent to
+:meth:`MetricsRegistry.merge`.
+
+Metric kinds
+------------
+* **counter** — monotonically increasing integer/float (`inc`); merged by
+  addition.
+* **gauge** — last-written value (`set_gauge`); merged by last-writer-wins.
+* **histogram** — value distribution in power-of-two buckets (`observe`);
+  merged bucket-wise, tracking count/total/min/max exactly.
+
+Names are dotted paths by convention (``driver.faults``,
+``tlb.l1.hits``, ``hpe.chain.length``) so dumps sort into subsystems.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+
+def _bucket_of(value: float) -> int:
+    """Power-of-two bucket index: values ≤ 2**i land in bucket ``i``."""
+    if value <= 1:
+        return 0
+    return int(value - 1).bit_length()
+
+
+@dataclass
+class HistogramData:
+    """Exact summary plus a power-of-two bucketed distribution."""
+
+    count: int = 0
+    total: float = 0.0
+    min: Optional[float] = None
+    max: Optional[float] = None
+    #: bucket index → observation count; bucket ``i`` covers
+    #: ``(2**(i-1), 2**i]`` (bucket 0 covers ``(-inf, 1]``).
+    buckets: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of every observed value (0.0 when empty)."""
+        if not self.count:
+            return 0.0
+        return self.total / self.count
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        bucket = _bucket_of(value)
+        self.buckets[bucket] = self.buckets.get(bucket, 0) + 1
+
+    def merge(self, other: "HistogramData") -> None:
+        self.count += other.count
+        self.total += other.total
+        if other.min is not None and (self.min is None or other.min < self.min):
+            self.min = other.min
+        if other.max is not None and (self.max is None or other.max > self.max):
+            self.max = other.max
+        for bucket, count in other.buckets.items():
+            self.buckets[bucket] = self.buckets.get(bucket, 0) + count
+
+    def to_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": dict(self.buckets),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "HistogramData":
+        return cls(
+            count=payload["count"],
+            total=payload["total"],
+            min=payload["min"],
+            max=payload["max"],
+            buckets={int(k): v for k, v in payload["buckets"].items()},
+        )
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms for one run (or one merge)."""
+
+    __slots__ = ("_counters", "_gauges", "_histograms")
+
+    def __init__(self) -> None:
+        self._counters: dict[str, float] = {}
+        self._gauges: dict[str, float] = {}
+        self._histograms: dict[str, HistogramData] = {}
+
+    # -- counters ------------------------------------------------------
+
+    def inc(self, name: str, amount: float = 1) -> None:
+        """Add ``amount`` (default 1) to counter ``name``."""
+        self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counter(self, name: str) -> float:
+        """Current value of counter ``name`` (0 if never incremented)."""
+        return self._counters.get(name, 0)
+
+    # -- gauges --------------------------------------------------------
+
+    def set_gauge(self, name: str, value: float) -> None:
+        """Set gauge ``name`` to ``value`` (last writer wins)."""
+        self._gauges[name] = value
+
+    def gauge(self, name: str) -> Optional[float]:
+        """Current value of gauge ``name``, or ``None`` if never set."""
+        return self._gauges.get(name)
+
+    # -- histograms ----------------------------------------------------
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one observation into histogram ``name``."""
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = HistogramData()
+        histogram.observe(value)
+
+    def histogram(self, name: str) -> HistogramData:
+        """The histogram for ``name`` (empty if never observed)."""
+        return self._histograms.get(name, HistogramData())
+
+    # -- aggregation ---------------------------------------------------
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (the parent-side operation)."""
+        for name, value in other._counters.items():
+            self._counters[name] = self._counters.get(name, 0) + value
+        self._gauges.update(other._gauges)
+        for name, histogram in other._histograms.items():
+            mine = self._histograms.get(name)
+            if mine is None:
+                mine = self._histograms[name] = HistogramData()
+            mine.merge(histogram)
+
+    def to_dict(self) -> dict:
+        """Plain-dict form: picklable, JSON-able, process-boundary safe."""
+        return {
+            "counters": dict(self._counters),
+            "gauges": dict(self._gauges),
+            "histograms": {
+                name: h.to_dict() for name, h in self._histograms.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "MetricsRegistry":
+        registry = cls()
+        registry._counters.update(payload.get("counters", {}))
+        registry._gauges.update(payload.get("gauges", {}))
+        for name, data in payload.get("histograms", {}).items():
+            registry._histograms[name] = HistogramData.from_dict(data)
+        return registry
+
+    # -- introspection -------------------------------------------------
+
+    def names(self) -> list[str]:
+        """Every metric name, sorted."""
+        return sorted(
+            set(self._counters) | set(self._gauges) | set(self._histograms)
+        )
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def lines(self) -> Iterator[str]:
+        """Human-readable dump lines (the ``repro stats`` output)."""
+        for name in sorted(self._counters):
+            yield f"{name} = {self._counters[name]}"
+        for name in sorted(self._gauges):
+            yield f"{name} = {self._gauges[name]} (gauge)"
+        for name in sorted(self._histograms):
+            h = self._histograms[name]
+            yield (
+                f"{name} = count={h.count} mean={h.mean:.2f} "
+                f"min={h.min} max={h.max} (histogram)"
+            )

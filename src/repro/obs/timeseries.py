@@ -1,0 +1,61 @@
+"""Interval-aligned time-series snapshots of policy internals.
+
+The paper's Figs. 9/13/14/15 all ask questions about *trajectories* —
+partition sizes over time, when strategies switched, how full the HIR ran
+— that end-of-run aggregates cannot answer.  A
+:class:`TimeSeriesRecorder` collects one plain-dict snapshot per interval
+(HPE's natural clock: every ``interval_length`` page faults) and rides
+back on ``SimulationResult.extras["timeseries"]``.
+
+Snapshot schema (written by ``HPEPolicy``, one dict per interval):
+
+========================  =====================================================
+field                     meaning
+========================  =====================================================
+``interval``              completed-interval ordinal (1-based)
+``fault_number``          driver fault count at the snapshot instant
+``old`` / ``middle`` /    page-set chain partition sizes (entries)
+``new``
+``chain_length``          ``old + middle + new`` (the live chain length)
+``resident_pages``        pages currently resident per the policy's accounting
+``strategy``              active strategy value, or ``None`` before first-full
+``jump``                  MRU-C search-point jump offset in force
+``wrong_evictions``       cumulative wrong evictions detected so far
+``hir_populated``         HIR entries populated since the last transfer
+========================  =====================================================
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class TimeSeriesRecorder:
+    """An append-only list of per-interval snapshot dicts."""
+
+    __slots__ = ("snapshots",)
+
+    def __init__(self) -> None:
+        self.snapshots: list[dict] = []
+
+    def record(self, snapshot: dict) -> None:
+        """Append one snapshot (stored as-is; keep it a plain dict)."""
+        self.snapshots.append(snapshot)
+
+    def as_list(self) -> list[dict]:
+        """The snapshots, oldest first (the ``extras`` payload)."""
+        return list(self.snapshots)
+
+    def latest(self) -> Optional[dict]:
+        """The most recent snapshot, or ``None`` when empty."""
+        return self.snapshots[-1] if self.snapshots else None
+
+    def series(self, field: str) -> list:
+        """One column across every snapshot (missing fields → ``None``)."""
+        return [snapshot.get(field) for snapshot in self.snapshots]
+
+    def __len__(self) -> int:
+        return len(self.snapshots)
+
+    def __iter__(self) -> Iterator[dict]:
+        return iter(self.snapshots)

@@ -46,7 +46,8 @@ from repro.workloads.trace_io import TraceFormatError, load_trace, save_trace
 
 #: Bump when the simulator's observable behaviour changes, so stale
 #: results from an older code generation can never be returned.
-CACHE_SCHEMA_VERSION = 1
+#: v2: HIRStats grew ``empty_transfers`` (old pickles lack the field).
+CACHE_SCHEMA_VERSION = 2
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_ENABLED = "REPRO_CACHE"
@@ -99,6 +100,19 @@ class CacheStats:
     result_stores: int = 0
     trace_hits: int = 0
     trace_misses: int = 0
+
+    def observe_into(self, registry) -> None:
+        """Expose the tallies as gauges in a ``MetricsRegistry``.
+
+        Gauges, not counters: the backing stats object is process-wide
+        and cumulative, so folding it additively per run would
+        double-count.
+        """
+        registry.set_gauge("cache.result_hits", self.result_hits)
+        registry.set_gauge("cache.result_misses", self.result_misses)
+        registry.set_gauge("cache.result_stores", self.result_stores)
+        registry.set_gauge("cache.trace_hits", self.trace_hits)
+        registry.set_gauge("cache.trace_misses", self.trace_misses)
 
 
 def _stable_config_repr(config: object) -> str:

@@ -45,10 +45,15 @@ class UVMSimulator:
         capacity_pages: int,
         config: Optional[GPUConfig] = None,
         prefetch_degree: int = 0,
+        obs=None,
     ) -> None:
         self.config = config or GPUConfig()
         self.policy = policy
         self.capacity_pages = capacity_pages
+        #: Optional :class:`repro.obs.Observation`; threaded into the
+        #: driver (fault/eviction events) and the policy (interval
+        #: snapshots).  ``None`` — the default — keeps the run silent.
+        self.obs = obs
         self.page_table = PageTable()
         self.frame_pool = FramePool(capacity_pages)
         self.hierarchy = TLBHierarchy(
@@ -67,7 +72,12 @@ class UVMSimulator:
             policy=policy,
             tlb_hierarchy=self.hierarchy,
             prefetch_degree=prefetch_degree,
+            obs=obs,
         )
+        if obs is not None:
+            attach = getattr(policy, "attach_observation", None)
+            if attach is not None:
+                attach(obs)
 
     def run(
         self,
@@ -87,6 +97,18 @@ class UVMSimulator:
             fast = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
         if self.policy.requires_future:
             self.policy.prime_future(trace)
+        obs = self.obs
+        if obs is not None:
+            from repro.obs import TRACE_SCHEMA_VERSION
+
+            obs.emit(
+                "run_start",
+                schema=TRACE_SCHEMA_VERSION,
+                workload=workload_name,
+                policy=self.policy.name,
+                capacity_pages=self.capacity_pages,
+                trace_length=len(trace),
+            )
         if fast:
             cycles = self._replay_fast(trace)
         else:
@@ -322,6 +344,27 @@ class UVMSimulator:
         if stats is not None:
             extras["policy_stats"] = stats
         footprint = len(set(trace))
+        obs = self.obs
+        if obs is not None:
+            driver_stats = self.driver.stats
+            obs.emit(
+                "run_end",
+                cycles=cycles,
+                faults=driver_stats.faults,
+                evictions=driver_stats.evictions,
+            )
+            registry = obs.registry
+            self.driver.stats.observe_into(registry)
+            self.hierarchy.observe_into(registry)
+            self.walker.observe_into(registry)
+            fold = getattr(policy, "observe_into", None)
+            if fold is not None:
+                fold(registry)
+            registry.set_gauge("engine.cycles", cycles)
+            registry.set_gauge("engine.instructions", instructions)
+            registry.set_gauge("engine.trace_length", len(trace))
+            extras["timeseries"] = obs.timeseries.as_list()
+            extras["metrics"] = registry.to_dict()
         return SimulationResult(
             policy_name=policy.name,
             workload_name=workload_name,
@@ -345,7 +388,10 @@ def simulate(
     config: Optional[GPUConfig] = None,
     workload_name: str = "trace",
     prefetch_degree: int = 0,
+    obs=None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator and run ``trace`` once."""
-    simulator = UVMSimulator(policy, capacity_pages, config, prefetch_degree)
+    simulator = UVMSimulator(
+        policy, capacity_pages, config, prefetch_degree, obs=obs
+    )
     return simulator.run(trace, workload_name=workload_name)

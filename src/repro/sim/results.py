@@ -73,13 +73,25 @@ class SimulationResult:
         }
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
-        """IPC speedup of this run relative to ``baseline``."""
+        """IPC speedup of this run relative to ``baseline``.
+
+        A zero-IPC baseline (empty or instantly-failing run) has no
+        meaningful ratio: the result is ``nan``, which downstream means
+        (``geometric_mean`` / ``arithmetic_mean``) skip with a warning
+        rather than silently averaging a fabricated 0.0.
+        """
         if not baseline.ipc:
-            return 0.0
+            return float("nan")
         return self.ipc / baseline.ipc
 
     def evictions_normalized_to(self, baseline: "SimulationResult") -> float:
-        """Eviction count of this run relative to ``baseline``."""
+        """Eviction count of this run relative to ``baseline``.
+
+        Both runs eviction-free compares equal (1.0); only the baseline
+        eviction-free leaves the ratio undefined — ``nan``, not ``inf``,
+        so figure harnesses can skip the point instead of blowing up
+        axis scaling.
+        """
         if not baseline.evictions:
-            return 1.0 if not self.evictions else float("inf")
+            return 1.0 if not self.evictions else float("nan")
         return self.evictions / baseline.evictions

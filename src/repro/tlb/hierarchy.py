@@ -131,6 +131,27 @@ class TLBHierarchy:
             tlb.flush()
         self.l2_tlb.flush()
 
+    def observe_into(self, registry) -> None:
+        """Fold per-level hit/miss/eviction tallies into a registry.
+
+        L1 counters are summed over SMs (``tlb.l1.*``); the shared L2
+        keeps its own (``tlb.l2.*``).  Called once at end-of-run by the
+        engine's collect step, never on the per-event hot path.
+        """
+        registry.inc("tlb.l1.hits", sum(t.stats.hits for t in self.l1_tlbs))
+        registry.inc("tlb.l1.misses", sum(t.stats.misses for t in self.l1_tlbs))
+        registry.inc(
+            "tlb.l1.evictions", sum(t.stats.evictions for t in self.l1_tlbs)
+        )
+        registry.inc(
+            "tlb.l1.shootdowns", sum(t.stats.shootdowns for t in self.l1_tlbs)
+        )
+        stats = self.l2_tlb.stats
+        registry.inc("tlb.l2.hits", stats.hits)
+        registry.inc("tlb.l2.misses", stats.misses)
+        registry.inc("tlb.l2.evictions", stats.evictions)
+        registry.inc("tlb.l2.shootdowns", stats.shootdowns)
+
     @property
     def total_hits(self) -> int:
         """Aggregate hit count across all levels."""

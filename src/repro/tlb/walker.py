@@ -52,6 +52,12 @@ class PageTableWalker:
         self.hits = 0
         self.faults = 0
 
+    def observe_into(self, registry) -> None:
+        """Fold the walk/hit/fault tallies into a ``MetricsRegistry``."""
+        registry.inc("walker.walks", self.walks)
+        registry.inc("walker.hits", self.hits)
+        registry.inc("walker.faults", self.faults)
+
     def add_hit_listener(self, listener: WalkHitListener) -> None:
         """Subscribe ``listener`` to page-walk hit notifications."""
         self._hit_listeners.append(listener)

@@ -43,6 +43,16 @@ class DriverStats:
         """Faults on pages that were previously resident (thrashing)."""
         return self.capacity_faults
 
+    def observe_into(self, registry) -> None:
+        """Fold the whole-run tallies into a ``MetricsRegistry``."""
+        registry.inc("driver.faults", self.faults)
+        registry.inc("driver.compulsory_faults", self.compulsory_faults)
+        registry.inc("driver.capacity_faults", self.capacity_faults)
+        registry.inc("driver.evictions", self.evictions)
+        registry.inc("driver.bytes_migrated_in", self.bytes_migrated_in)
+        registry.inc("driver.bytes_evicted_out", self.bytes_evicted_out)
+        registry.inc("driver.prefetches", self.prefetches)
+
 
 @dataclass
 class FaultOutcome:
@@ -66,6 +76,7 @@ class UVMDriver:
         tlb_hierarchy: Optional[TLBHierarchy] = None,
         page_size_bytes: int = PAGE_SIZE_BYTES,
         prefetch_degree: int = 0,
+        obs: Optional[object] = None,
     ) -> None:
         if prefetch_degree < 0:
             raise ValueError("prefetch_degree must be non-negative")
@@ -78,6 +89,9 @@ class UVMDriver:
         #: the next ``prefetch_degree`` non-resident pages after *p* (real
         #: UVM runtimes migrate whole 64 KB chunks around the fault).
         self.prefetch_degree = prefetch_degree
+        #: Optional :class:`repro.obs.Observation`; ``None`` (the default)
+        #: keeps the fault path observation-free.
+        self.obs = obs
         self.stats = DriverStats()
         self._ever_touched: set[int] = set()
 
@@ -89,6 +103,10 @@ class UVMDriver:
             self.tlb_hierarchy.shootdown(victim)
         self.stats.evictions += 1
         self.stats.bytes_evicted_out += self.page_size_bytes
+        if self.obs is not None:
+            self.obs.emit(
+                "eviction", page=victim, fault_number=self.stats.faults
+            )
         return victim
 
     def _migrate_in(self, page: int) -> tuple[int, Optional[int]]:
@@ -116,9 +134,11 @@ class UVMDriver:
         stats.faults += 1
         if page in self._ever_touched:
             stats.capacity_faults += 1
+            compulsory = False
         else:
             self._ever_touched.add(page)
             stats.compulsory_faults += 1
+            compulsory = True
 
         policy.on_fault_pending(page)
         # Inlined _migrate_in/_evict_one: one fault means up to four
@@ -140,6 +160,19 @@ class UVMDriver:
         bytes_moved = page_size
         if evicted is not None:
             bytes_moved += page_size  # the eviction writeback
+
+        obs = self.obs
+        if obs is not None:
+            obs.emit(
+                "fault",
+                page=page,
+                fault_number=stats.faults,
+                kind="compulsory" if compulsory else "capacity",
+            )
+            if evicted is not None:
+                obs.emit(
+                    "eviction", page=evicted, fault_number=stats.faults
+                )
 
         for ahead in range(1, self.prefetch_degree + 1):
             neighbour = page + ahead

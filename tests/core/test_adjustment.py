@@ -166,3 +166,22 @@ class TestTimeline:
         adjustment = make_adjustment(Category.REGULAR)
         trigger(adjustment, range(5))
         assert adjustment.stats.wrong_evictions_total == 5
+
+    def test_stale_total_faults_never_inverts_final_segment(self):
+        # Regression: a switch at fault N combined with a caller passing
+        # a fault count captured *before* the switch used to produce a
+        # final segment with end_fault < start_fault.
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        trigger(adjustment, range(16))               # switch at fault 16
+        timeline = adjustment.timeline(total_faults=10)  # stale count
+        last = timeline[-1]
+        assert last.start_fault == 16
+        assert last.end_fault == 16                  # clamped, not 10
+        for segment in timeline:
+            assert segment.end_fault >= segment.start_fault
+
+    def test_timeline_does_not_mutate_stats_segments(self):
+        adjustment = make_adjustment(Category.IRREGULAR_2)
+        trigger(adjustment, range(16))
+        adjustment.timeline(total_faults=5)
+        assert adjustment.stats.segments[-1].end_fault == -1  # still open

@@ -95,6 +95,28 @@ class TestTransfer:
     def test_mean_entries_zero_before_any_transfer(self):
         assert make_hir().stats.mean_entries_per_transfer == 0.0
 
+    def test_empty_transfer_counted_separately(self):
+        hir = make_hir()
+        assert hir.transfer() == []
+        assert hir.stats.transfers == 0
+        assert hir.stats.empty_transfers == 1
+        assert hir.stats.total_transfers == 1
+
+    def test_empty_transfers_do_not_deflate_the_mean(self):
+        # Fig. 15 regression: quiet intervals (no walk hits between two
+        # transfer points) used to count as transfers of zero entries,
+        # dragging mean_entries_per_transfer toward zero.
+        hir = make_hir(set_size=4)
+        hir.record_hit(0)
+        hir.record_hit(16)
+        hir.transfer()          # 2 entries
+        hir.transfer()          # quiet interval: empty
+        hir.transfer()          # quiet interval: empty
+        assert hir.stats.transfers == 1
+        assert hir.stats.empty_transfers == 2
+        assert hir.stats.entries_transferred == 2
+        assert hir.stats.mean_entries_per_transfer == pytest.approx(2.0)
+
     def test_transfer_bytes_paper_sizing(self):
         # 48-bit tag + 16 x 2-bit counters = 10 bytes per entry.
         hir = make_hir()

@@ -94,6 +94,21 @@ class TestRunMatrix:
         assert "running STN / lru" in captured.err
         assert captured.out == ""
 
+    @pytest.mark.parametrize("empty", [
+        dict(policies=[]),
+        dict(policies=["lru"], rates=[]),
+        dict(policies=["lru"], apps=[]),
+    ])
+    def test_empty_job_list_returns_empty_matrix(self, empty):
+        # Regression: an empty cartesian product with jobs > 1 used to
+        # reach Pool(processes=0) and raise ValueError.
+        kwargs = dict(rates=[0.75], apps=["STN"], jobs=4)
+        kwargs.update(empty)
+        policies = kwargs.pop("policies")
+        matrix = run_matrix(policies, **kwargs)
+        assert matrix.results == {}
+        assert matrix.apps() == []
+
 
 class TestResolveJobs:
     def test_default_is_serial(self, monkeypatch):
@@ -200,3 +215,26 @@ class TestMeans:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert geometric_mean([2.0, 8.0], strict=True) == pytest.approx(4.0)
+
+    def test_geometric_mean_skips_nan_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="NaN"):
+            assert geometric_mean([float("nan"), 2.0, 8.0]) == \
+                pytest.approx(4.0)
+
+    def test_geometric_mean_strict_raises_on_nan(self):
+        with pytest.raises(ValueError, match="non-positive"):
+            geometric_mean([float("nan")], strict=True)
+
+    def test_arithmetic_mean_skips_nan_with_warning(self):
+        with pytest.warns(RuntimeWarning, match="NaN"):
+            assert arithmetic_mean([float("nan"), 2.0, 4.0]) == \
+                pytest.approx(3.0)
+
+    def test_arithmetic_mean_all_nan_is_zero(self):
+        with pytest.warns(RuntimeWarning):
+            assert arithmetic_mean([float("nan")]) == 0.0
+
+    def test_arithmetic_mean_clean_values_silent(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)

@@ -1,0 +1,199 @@
+"""Tests for the JSONL event trace and its schema (repro.obs.events)."""
+
+from __future__ import annotations
+
+import json
+import pickle
+
+import pytest
+
+from repro.obs import (
+    EVENT_SCHEMA,
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    EventSchemaError,
+    JSONLEventTrace,
+    Observation,
+    finite_or_none,
+    read_events,
+    summarize_events,
+    validate_event,
+    validate_file,
+)
+
+
+def valid_fault(seq: int = 0) -> dict:
+    return {"type": "fault", "seq": seq, "page": 12, "fault_number": 3,
+            "kind": "capacity"}
+
+
+class TestValidateEvent:
+    def test_valid_event_passes(self):
+        validate_event(valid_fault())
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EventSchemaError, match="unknown event type"):
+            validate_event({"type": "nonsense", "seq": 0})
+
+    def test_missing_field_rejected(self):
+        event = valid_fault()
+        del event["page"]
+        with pytest.raises(EventSchemaError, match="missing field 'page'"):
+            validate_event(event)
+
+    def test_wrong_type_rejected(self):
+        event = valid_fault()
+        event["page"] = "twelve"
+        with pytest.raises(EventSchemaError, match="invalid type"):
+            validate_event(event)
+
+    def test_bool_is_not_an_int(self):
+        event = valid_fault()
+        event["page"] = True
+        with pytest.raises(EventSchemaError, match="bool"):
+            validate_event(event)
+
+    def test_negative_seq_rejected(self):
+        event = valid_fault()
+        event["seq"] = -1
+        with pytest.raises(EventSchemaError, match="seq"):
+            validate_event(event)
+
+    def test_non_finite_float_rejected(self):
+        event = {"type": "classification", "seq": 0, "fault_number": 1,
+                 "category": "regular", "ratio1": float("inf"),
+                 "ratio2": 1.0}
+        with pytest.raises(EventSchemaError, match="finite"):
+            validate_event(event)
+
+    def test_null_ratio_accepted(self):
+        validate_event({"type": "classification", "seq": 0,
+                        "fault_number": 1, "category": "irregular#1",
+                        "ratio1": None, "ratio2": 0.5})
+
+    def test_extra_scalar_field_allowed(self):
+        event = valid_fault()
+        event["note"] = "prefetch"
+        validate_event(event)
+
+    def test_extra_structured_field_rejected(self):
+        event = valid_fault()
+        event["note"] = {"nested": 1}
+        with pytest.raises(EventSchemaError, match="JSON scalar"):
+            validate_event(event)
+
+    def test_every_schema_type_is_known(self):
+        assert set(EVENT_TYPES) == set(EVENT_SCHEMA)
+
+
+class TestFiniteOrNone:
+    def test_passthrough(self):
+        assert finite_or_none(1.5) == 1.5
+        assert finite_or_none(3) == 3
+
+    def test_inf_and_nan_become_none(self):
+        assert finite_or_none(float("inf")) is None
+        assert finite_or_none(float("nan")) is None
+
+
+class TestJSONLEventTrace:
+    def test_emit_writes_one_json_object_per_line(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        with JSONLEventTrace(path) as trace:
+            trace.emit("fault", page=1, fault_number=1, kind="compulsory")
+            trace.emit("eviction", page=2, fault_number=1)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 2
+        first = json.loads(lines[0])
+        assert first == {"type": "fault", "seq": 0, "page": 1,
+                         "fault_number": 1, "kind": "compulsory"}
+        assert json.loads(lines[1])["seq"] == 1
+
+    def test_counts_by_type(self, tmp_path):
+        with JSONLEventTrace(tmp_path / "e.jsonl") as trace:
+            trace.emit("eviction", page=1, fault_number=1)
+            trace.emit("eviction", page=2, fault_number=2)
+            assert trace.counts == {"eviction": 2}
+            assert trace.events_written == 2
+
+    def test_validating_sink_rejects_bad_event(self, tmp_path):
+        with JSONLEventTrace(tmp_path / "e.jsonl", validate=True) as trace:
+            with pytest.raises(EventSchemaError):
+                trace.emit("fault", page=1)  # missing fields
+
+    def test_no_file_until_first_emit(self, tmp_path):
+        path = tmp_path / "lazy.jsonl"
+        with JSONLEventTrace(path):
+            assert not path.exists()
+
+    def test_validate_file_roundtrip(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with JSONLEventTrace(path, validate=True) as trace:
+            trace.emit("run_start", schema=TRACE_SCHEMA_VERSION,
+                       workload="STN", policy="hpe", capacity_pages=10,
+                       trace_length=100)
+            trace.emit("run_end", cycles=5, faults=2, evictions=1)
+        assert validate_file(path) == 2
+
+    def test_validate_file_reports_line_number(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(
+            '{"type":"eviction","seq":0,"page":1,"fault_number":1}\n'
+            'not json\n'
+        )
+        with pytest.raises(EventSchemaError, match=":2:"):
+            validate_file(path)
+
+    def test_validate_file_rejects_schema_violation_with_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type":"eviction","seq":0,"page":1}\n')
+        with pytest.raises(EventSchemaError, match=":1:.*fault_number"):
+            validate_file(path)
+
+    def test_read_events_skips_blank_lines(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text('{"type":"jump","seq":0,"fault_number":1,"jump":16}'
+                        "\n\n")
+        assert len(list(read_events(path))) == 1
+
+
+class TestSummarize:
+    def test_summary_shape(self):
+        events = [
+            {"type": "fault", "seq": 0, "fault_number": 1,
+             "page": 1, "kind": "compulsory"},
+            {"type": "fault", "seq": 1, "fault_number": 9,
+             "page": 2, "kind": "capacity"},
+            {"type": "interval", "seq": 2, "interval": 1, "fault_number": 9,
+             "old": 0, "middle": 1, "new": 0},
+            {"type": "strategy_switch", "seq": 3, "fault_number": 9,
+             "from_strategy": "lru", "to_strategy": "mru-c"},
+        ]
+        summary = summarize_events(events)
+        assert summary["total"] == 4
+        assert summary["by_type"]["fault"] == 2
+        assert summary["first_fault"] == 1
+        assert summary["last_fault"] == 9
+        assert summary["intervals"] == 1
+        assert summary["strategy_switches"] == [(9, "lru", "mru-c")]
+
+
+class TestObservationTransport:
+    def test_pickle_drops_trace_sink(self, tmp_path):
+        trace = JSONLEventTrace(tmp_path / "e.jsonl")
+        trace.emit("jump", fault_number=1, jump=16)
+        obs = Observation(trace=trace)
+        obs.registry.inc("driver.faults", 3)
+        clone = pickle.loads(pickle.dumps(obs))
+        trace.close()
+        assert clone.trace is None
+        assert clone.registry.counter("driver.faults") == 3
+
+    def test_emit_without_trace_is_a_noop(self):
+        Observation().emit("jump", fault_number=1, jump=16)
+
+    def test_context_manager_closes_trace(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        with Observation(trace=JSONLEventTrace(path)) as obs:
+            obs.emit("jump", fault_number=1, jump=16)
+        assert path.read_text().count("\n") == 1

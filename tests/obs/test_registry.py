@@ -1,0 +1,130 @@
+"""Tests for the metrics registry (repro.obs.registry)."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.obs import HistogramData, MetricsRegistry
+
+
+class TestCounters:
+    def test_inc_defaults_to_one(self):
+        registry = MetricsRegistry()
+        registry.inc("driver.faults")
+        registry.inc("driver.faults")
+        assert registry.counter("driver.faults") == 2
+
+    def test_inc_amount(self):
+        registry = MetricsRegistry()
+        registry.inc("driver.bytes", 4096)
+        registry.inc("driver.bytes", 4096)
+        assert registry.counter("driver.bytes") == 8192
+
+    def test_unknown_counter_reads_zero(self):
+        assert MetricsRegistry().counter("nope") == 0
+
+
+class TestGauges:
+    def test_last_writer_wins(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("hpe.resident_pages", 10)
+        registry.set_gauge("hpe.resident_pages", 7)
+        assert registry.gauge("hpe.resident_pages") == 7
+
+    def test_unknown_gauge_reads_none(self):
+        assert MetricsRegistry().gauge("nope") is None
+
+    def test_string_gauges_allowed(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("hpe.category", "regular")
+        assert registry.gauge("hpe.category") == "regular"
+
+
+class TestHistograms:
+    def test_exact_summary(self):
+        registry = MetricsRegistry()
+        for value in (1, 2, 3, 10):
+            registry.observe("chain.length", value)
+        histogram = registry.histogram("chain.length")
+        assert histogram.count == 4
+        assert histogram.total == 16
+        assert histogram.min == 1
+        assert histogram.max == 10
+        assert histogram.mean == pytest.approx(4.0)
+
+    def test_power_of_two_buckets(self):
+        histogram = HistogramData()
+        for value in (0, 1, 2, 3, 4, 5, 8, 9):
+            histogram.observe(value)
+        # bucket 0: (-inf,1] -> {0,1}; 1: (1,2] -> {2}; 2: (2,4] -> {3,4};
+        # 3: (4,8] -> {5,8}; 4: (8,16] -> {9}.
+        assert histogram.buckets == {0: 2, 1: 1, 2: 2, 3: 2, 4: 1}
+
+    def test_empty_histogram(self):
+        histogram = MetricsRegistry().histogram("never")
+        assert histogram.count == 0
+        assert histogram.mean == 0.0
+        assert histogram.min is None
+
+
+class TestMergeAndTransport:
+    def make_worker_registry(self, faults: int) -> MetricsRegistry:
+        registry = MetricsRegistry()
+        registry.inc("driver.faults", faults)
+        registry.set_gauge("engine.cycles", faults * 100)
+        registry.observe("chain.length", faults)
+        return registry
+
+    def test_merge_adds_counters_bucketwise(self):
+        parent = self.make_worker_registry(10)
+        parent.merge(self.make_worker_registry(32))
+        assert parent.counter("driver.faults") == 42
+        assert parent.gauge("engine.cycles") == 3200  # last writer
+        histogram = parent.histogram("chain.length")
+        assert histogram.count == 2
+        assert histogram.min == 10
+        assert histogram.max == 32
+
+    def test_dict_roundtrip(self):
+        registry = self.make_worker_registry(5)
+        clone = MetricsRegistry.from_dict(registry.to_dict())
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_pickle_roundtrip(self):
+        # Workers ship registries across the multiprocessing boundary.
+        registry = self.make_worker_registry(5)
+        clone = pickle.loads(pickle.dumps(registry))
+        assert clone.to_dict() == registry.to_dict()
+
+    def test_merge_from_json_safe_dict(self):
+        # extras["metrics"] may round-trip through JSON: histogram bucket
+        # keys become strings and from_dict must restore them as ints.
+        import json
+
+        registry = self.make_worker_registry(5)
+        payload = json.loads(json.dumps(registry.to_dict()))
+        clone = MetricsRegistry.from_dict(payload)
+        assert clone.histogram("chain.length").buckets == \
+            registry.histogram("chain.length").buckets
+
+
+class TestIntrospection:
+    def test_names_sorted_union(self):
+        registry = MetricsRegistry()
+        registry.inc("b.counter")
+        registry.set_gauge("a.gauge", 1)
+        registry.observe("c.histogram", 1)
+        assert registry.names() == ["a.gauge", "b.counter", "c.histogram"]
+        assert len(registry) == 3
+
+    def test_lines_cover_every_kind(self):
+        registry = MetricsRegistry()
+        registry.inc("driver.faults", 3)
+        registry.set_gauge("engine.cycles", 9)
+        registry.observe("chain.length", 4)
+        dump = "\n".join(registry.lines())
+        assert "driver.faults = 3" in dump
+        assert "engine.cycles = 9 (gauge)" in dump
+        assert "chain.length = count=1" in dump

@@ -118,6 +118,49 @@ class TestResultCache:
         assert store.get("ef" * 32) is None
         assert not path.exists()
 
+    def test_corrupt_entry_counts_as_miss(self, fresh_cache):
+        store = cache.ResultCache()
+        path = store._path("ef" * 32)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        store.get("ef" * 32)
+        assert store.stats.result_misses == 1
+        assert store.stats.result_hits == 0
+
+    def test_truncated_pickle_is_dropped(self, fresh_cache):
+        result = run_application("STN", "lru", 0.75, scale=0.25,
+                                 use_cache=False)
+        store = cache.ResultCache()
+        store.put("ab" * 32, result)
+        path = store._path("ab" * 32)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
+        store._memory.clear()  # force the disk read
+        assert store.get("ab" * 32) is None
+        assert not path.exists()
+        assert store.stats.result_misses == 1
+
+    def test_corrupt_memory_entry_is_dropped_too(self, fresh_cache):
+        store = cache.ResultCache()
+        store._memory["cd" * 32] = b"bogus bytes"
+        assert store.get("cd" * 32) is None
+        assert ("cd" * 32) not in store._memory
+
+    def test_run_application_recomputes_after_corruption(self, fresh_cache):
+        first = run_application("STN", "lru", 0.75, scale=0.25)
+        digest = cache.fingerprint("STN", "lru", 0.75, seed=7, scale=0.25)
+        store = cache.result_cache()
+        path = store._path(digest)
+        assert path.is_file()
+        path.write_bytes(b"garbage")
+        store._memory.clear()
+        misses_before = store.stats.result_misses
+        again = run_application("STN", "lru", 0.75, scale=0.25)
+        assert store.stats.result_misses == misses_before + 1
+        assert again.key_metrics() == first.key_metrics()
+        # The recomputed result was stored back and is readable again.
+        assert store.get(digest) is not None
+
     def test_clear_removes_entries(self, fresh_cache):
         result = run_application("STN", "lru", 0.75, scale=0.25,
                                  use_cache=False)
@@ -204,6 +247,26 @@ class TestTraceMemo:
         built = cache.load_or_build_trace("STN", 7, 0.25)
         path = cache.trace_path("STN", 7, 0.25)
         path.write_bytes(b"garbage")
+        rebuilt = cache.load_or_build_trace("STN", 7, 0.25)
+        assert list(rebuilt.pages) == list(built.pages)
+
+    def test_corrupt_trace_counts_as_miss_and_is_replaced(self, fresh_cache):
+        cache.load_or_build_trace("STN", 7, 0.25)
+        path = cache.trace_path("STN", 7, 0.25)
+        path.write_bytes(b"garbage")
+        misses_before = cache.result_cache().stats.trace_misses
+        cache.load_or_build_trace("STN", 7, 0.25)
+        assert cache.result_cache().stats.trace_misses == misses_before + 1
+        # The rebuilt trace was written back and now loads cleanly.
+        hits_before = cache.result_cache().stats.trace_hits
+        cache.load_or_build_trace("STN", 7, 0.25)
+        assert cache.result_cache().stats.trace_hits == hits_before + 1
+
+    def test_truncated_trace_file_rebuilds(self, fresh_cache):
+        built = cache.load_or_build_trace("STN", 7, 0.25)
+        path = cache.trace_path("STN", 7, 0.25)
+        payload = path.read_bytes()
+        path.write_bytes(payload[: len(payload) // 2])
         rebuilt = cache.load_or_build_trace("STN", 7, 0.25)
         assert list(rebuilt.pages) == list(built.pages)
 

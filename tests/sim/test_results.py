@@ -1,0 +1,79 @@
+"""Tests for SimulationResult derived metrics (repro.sim.results)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.results import SimulationResult
+from repro.uvm.driver import DriverStats
+
+
+def make_result(cycles: int = 1000, instructions: int = 5000,
+                evictions: int = 10) -> SimulationResult:
+    driver = DriverStats()
+    driver.evictions = evictions
+    return SimulationResult(
+        policy_name="lru",
+        workload_name="STN",
+        capacity_pages=64,
+        footprint_pages=128,
+        trace_length=500,
+        cycles=cycles,
+        instructions=instructions,
+        driver=driver,
+    )
+
+
+class TestIPC:
+    def test_plain_ratio(self):
+        assert make_result(cycles=1000, instructions=5000).ipc == 5.0
+
+    def test_zero_cycles_reads_zero(self):
+        assert make_result(cycles=0).ipc == 0.0
+
+
+class TestSpeedupOver:
+    def test_plain_ratio(self):
+        fast = make_result(cycles=500)
+        slow = make_result(cycles=1000)
+        assert fast.speedup_over(slow) == pytest.approx(2.0)
+
+    def test_zero_ipc_baseline_is_nan_not_zero(self):
+        # Regression: a baseline with zero cycles (hence zero IPC) used
+        # to report a speedup of 0.0 — indistinguishable from "this
+        # policy is infinitely worse" — which silently dragged means
+        # down.  The ratio is undefined: NaN.
+        result = make_result(cycles=1000)
+        degenerate = make_result(cycles=0)
+        assert math.isnan(result.speedup_over(degenerate))
+
+    def test_nan_speedup_is_skipped_by_means(self):
+        from repro.experiments.runner import geometric_mean
+
+        result = make_result(cycles=1000)
+        degenerate = make_result(cycles=0)
+        values = [result.speedup_over(degenerate), 2.0, 8.0]
+        with pytest.warns(RuntimeWarning):
+            assert geometric_mean(values) == pytest.approx(4.0)
+
+
+class TestEvictionsNormalized:
+    def test_plain_ratio(self):
+        a = make_result(evictions=30)
+        b = make_result(evictions=10)
+        assert a.evictions_normalized_to(b) == pytest.approx(3.0)
+
+    def test_both_eviction_free_compare_equal(self):
+        a = make_result(evictions=0)
+        b = make_result(evictions=0)
+        assert a.evictions_normalized_to(b) == 1.0
+
+    def test_eviction_free_baseline_is_nan_not_inf(self):
+        # Regression: only the baseline eviction-free used to return
+        # inf, which blows up figure axis scaling; the ratio is
+        # undefined and NaN lets harnesses skip the point.
+        a = make_result(evictions=10)
+        b = make_result(evictions=0)
+        assert math.isnan(a.evictions_normalized_to(b))

@@ -126,3 +126,58 @@ class TestTraceAndAnalyze:
         assert main(["sensitivity", "prefetch", "--apps", "STN",
                      "--scale", "0.5"]) == 0
         assert "prefetch degree" in capsys.readouterr().out
+
+    def test_trace_without_app_or_positional_errors(self):
+        with pytest.raises(SystemExit):
+            main(["trace"])
+
+
+class TestObservability:
+    @pytest.fixture(autouse=True)
+    def _reset_obs_override(self, monkeypatch):
+        from repro import obs as obs_module
+
+        monkeypatch.setattr(obs_module, "_enabled_override", None)
+
+    def test_event_trace_mode(self, tmp_path, capsys):
+        out = tmp_path / "stn.events.jsonl"
+        assert main(["trace", "STN", "hpe", "0.75",
+                     "--scale", "0.25", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "schema-valid events" in text
+        assert "fault" in text
+        from repro.obs import validate_file
+
+        assert validate_file(out) > 0
+
+    def test_event_trace_default_output_name(self, tmp_path, capsys,
+                                             monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["trace", "STN", "--scale", "0.25"]) == 0
+        assert (tmp_path / "STN-hpe-75.events.jsonl").is_file()
+
+    def test_stats_with_app_dumps_registry(self, capsys):
+        assert main(["stats", "STN", "lru", "0.75",
+                     "--scale", "0.25"]) == 0
+        text = capsys.readouterr().out
+        assert "driver.faults = " in text
+        assert "engine.cycles = " in text
+
+    def test_stats_without_app_reports_state(self, capsys):
+        assert main(["stats"]) == 0
+        text = capsys.readouterr().out
+        assert "observability    : disabled" in text
+        assert "cache.result_hits" in text
+
+    def test_obs_flag_enables_observation(self, capsys):
+        from repro import obs as obs_module
+
+        assert main(["run", "--app", "STN", "--scale", "0.25",
+                     "--obs", "--no-cache"]) == 0
+        assert obs_module.enabled()
+        assert "intervals obs." in capsys.readouterr().out
+
+    def test_run_without_obs_prints_no_snapshots(self, capsys):
+        assert main(["run", "--app", "STN", "--scale", "0.25",
+                     "--no-cache"]) == 0
+        assert "intervals obs." not in capsys.readouterr().out

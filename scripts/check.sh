@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# Run the full correctness gate locally — the same three layers CI runs:
+#
+#   1. repro lint       custom AST rules REP001-REP006
+#   2. repro typecheck  mypy strict (if installed) + annotation gate
+#   3. sanitized runs   every policy on two suite apps under
+#                       REPRO_SANITIZE, asserting zero violations and
+#                       bit-identical metrics (tests/check)
+#
+# Usage: scripts/check.sh [--fast]
+#   --fast  skip the sanitized-equivalence matrix (lint + typing only)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== repro lint =="
+python -m repro.cli lint src tests scripts
+
+echo
+echo "== repro typecheck =="
+python -m repro.cli typecheck
+
+if [[ "${1:-}" != "--fast" ]]; then
+  echo
+  echo "== sanitizer: corruption + equivalence + determinism tests =="
+  python -m pytest tests/check -q
+
+  echo
+  echo "== sanitized smoke run (every policy, two apps) =="
+  for policy in ideal lru random rrip clock-pro hpe fifo lfu arc car wsclock; do
+    for app in STN BFS; do
+      python -m repro.cli check invariants "$app" "$policy" 0.75 \
+        --scale 0.25 | sed -n 1p
+    done
+  done
+fi
+
+echo
+echo "check.sh: all gates passed"

@@ -1,0 +1,118 @@
+"""repro.check — correctness tooling: sanitizer, lint, typing gate.
+
+Three layers, all runnable from the CLI and CI:
+
+* **Runtime sanitizer** (:mod:`repro.check.invariants`) — an
+  :class:`InvariantChecker` hooked into the engine/driver fault path
+  (``REPRO_SANITIZE=1`` / ``--sanitize``) that validates the simulator's
+  cross-structure invariants every N faults and at interval boundaries,
+  raising :class:`InvariantViolation` with a state snapshot.
+* **Custom AST lint** (:mod:`repro.check.lint`, ``repro lint``) —
+  repo-specific rules (seeded RNG only, no mutable default arguments,
+  complete policy interfaces, the single ``is not None`` obs guard,
+  no float ``==``, cache-schema version bumps).
+* **Typing gate** (:mod:`repro.check.typegate`, ``repro typecheck``) —
+  runs mypy strict on ``core``/``sim``/``policies`` when mypy is
+  installed and always enforces an AST annotation-completeness gate, so
+  the strict packages stay fully annotated even on machines without
+  mypy.
+
+Like the observability layer, sanitizing is off by default and adds one
+``is not None`` pointer check per fault when off; a sanitized run's
+``key_metrics()`` is bit-identical to an unsanitized one.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Optional
+
+from repro.check.invariants import (
+    DEFAULT_CHECK_EVERY,
+    FAST_MODE_MAX_FAULTS,
+    CheckerStats,
+    InvariantChecker,
+    InvariantViolation,
+)
+
+if TYPE_CHECKING:
+    from repro.sim.engine import UVMSimulator
+
+#: Environment variable enabling the runtime sanitizer (``1``/``on``).
+ENV_SANITIZE = "REPRO_SANITIZE"
+
+#: Environment variable overriding the fault sampling period.
+ENV_SANITIZE_EVERY = "REPRO_SANITIZE_EVERY"
+
+#: Environment variable selecting fast mode (first 2k faults only).
+ENV_SANITIZE_FAST = "REPRO_SANITIZE_FAST"
+
+_TRUTHY = {"1", "on", "true", "yes", "enabled"}
+
+#: Process-level override set by :func:`configure` (CLI ``--sanitize``);
+#: ``None`` means "defer to the environment".
+_enabled_override: Optional[bool] = None
+_fast_override: Optional[bool] = None
+
+
+def configure(
+    enabled: Optional[bool] = None, fast: Optional[bool] = None
+) -> None:
+    """Override sanitizing for this process (wins over ``REPRO_SANITIZE``)."""
+    global _enabled_override, _fast_override
+    if enabled is not None:
+        _enabled_override = enabled
+    if fast is not None:
+        _fast_override = fast
+
+
+def sanitize_enabled() -> bool:
+    """Is the sanitizer on (configure() override, then ``REPRO_SANITIZE``)?"""
+    if _enabled_override is not None:
+        return _enabled_override
+    raw = os.environ.get(ENV_SANITIZE, "").strip().lower()
+    return raw in _TRUTHY
+
+
+def sanitize_fast() -> bool:
+    """Is fast (first-2k-faults) mode selected?"""
+    if _fast_override is not None:
+        return _fast_override
+    raw = os.environ.get(ENV_SANITIZE_FAST, "").strip().lower()
+    return raw in _TRUTHY
+
+
+def sanitize_every() -> int:
+    """Fault sampling period (``REPRO_SANITIZE_EVERY``, default 64)."""
+    raw = os.environ.get(ENV_SANITIZE_EVERY, "").strip()
+    try:
+        value = int(raw) if raw else DEFAULT_CHECK_EVERY
+    except ValueError:
+        value = DEFAULT_CHECK_EVERY
+    return value if value > 0 else DEFAULT_CHECK_EVERY
+
+
+def make_checker(simulator: "UVMSimulator") -> InvariantChecker:
+    """Build an :class:`InvariantChecker` honouring the env/CLI settings."""
+    return InvariantChecker(
+        simulator,
+        check_every=sanitize_every(),
+        max_faults=FAST_MODE_MAX_FAULTS if sanitize_fast() else None,
+    )
+
+
+__all__ = [
+    "DEFAULT_CHECK_EVERY",
+    "ENV_SANITIZE",
+    "ENV_SANITIZE_EVERY",
+    "ENV_SANITIZE_FAST",
+    "FAST_MODE_MAX_FAULTS",
+    "CheckerStats",
+    "InvariantChecker",
+    "InvariantViolation",
+    "configure",
+    "make_checker",
+    "sanitize_enabled",
+    "sanitize_every",
+    "sanitize_fast",
+]

@@ -1,0 +1,512 @@
+"""Custom AST lint pass (``repro lint``) — repo-specific correctness rules.
+
+Generic linters cannot know that this simulator's reproducibility rests
+on a handful of local conventions, so this pass encodes them directly:
+
+======== ==============================================================
+Code     Rule
+======== ==============================================================
+REP001   No unseeded randomness: ``random.Random()`` without a seed and
+         module-level ``random.*`` calls (which share interpreter-global
+         state) are forbidden; construct ``random.Random(seed)``.
+REP002   No mutable default arguments (``def f(x=[])`` aliases one list
+         across calls — use ``None`` + ``field(default_factory=...)``).
+REP003   Every direct ``EvictionPolicy`` subclass must define both
+         ``on_page_in`` and ``select_victim`` in its own body; relying
+         on inheritance hides an incomplete policy until runtime.
+REP004   Observability calls (``*.obs.emit`` / ``obs.emit``) must sit
+         under the single ``is not None`` guard pattern so the fault
+         path stays one pointer check when observation is off.
+REP005   No float ``==`` / ``!=`` against float literals — metric
+         comparisons must use tolerances or integer counters.
+REP006   The pickled result-cache dataclasses (``SimulationResult``,
+         ``DriverStats``, ``HIRStats``) are fingerprinted per
+         ``CACHE_SCHEMA_VERSION``; changing their fields without
+         bumping the version would let stale cache pickles load.
+======== ==============================================================
+
+Suppression: append ``# noqa`` or ``# noqa: REP00x`` to the flagged
+line.  The pass is pure :mod:`ast` — nothing is imported or executed, so
+it lints files that do not even import cleanly.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import re
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: Module-level ``random.*`` functions that mutate the shared global RNG.
+_GLOBAL_RNG_FUNCS = {
+    "random", "randint", "randrange", "choice", "choices", "shuffle",
+    "sample", "uniform", "gauss", "seed", "getrandbits", "betavariate",
+    "expovariate", "normalvariate", "triangular",
+}
+
+#: Receiver name tails treated as observation handles for REP004.
+_OBS_NAMES = {"obs", "_obs"}
+
+#: ``name:annotation`` field fingerprints of the cache-pickled
+#: dataclasses, keyed by the ``CACHE_SCHEMA_VERSION`` they belong to.
+#: When a field list changes, the computed fingerprint stops matching
+#: and REP006 fires until the version is bumped *and* this table gains
+#: the new row — making "bump the schema version" a reviewable diff.
+CACHE_FINGERPRINTS: dict[int, dict[str, str]] = {
+    2: {
+        "SimulationResult": "1f9e70077f183cbbacab3608373573f7",
+        "DriverStats": "abc847a51741580eb5fc7f7a23e581a4",
+        "HIRStats": "b9cb92bd0f4dace77a34b7ab5af36749",
+    },
+    # v3 changed prefetch-migration ordering, not any pickled shape.
+    3: {
+        "SimulationResult": "1f9e70077f183cbbacab3608373573f7",
+        "DriverStats": "abc847a51741580eb5fc7f7a23e581a4",
+        "HIRStats": "b9cb92bd0f4dace77a34b7ab5af36749",
+    },
+}
+
+#: Where the fingerprinted dataclasses live, relative to ``src/repro``.
+_CACHED_DATACLASSES = {
+    "SimulationResult": "sim/results.py",
+    "DriverStats": "uvm/driver.py",
+    "HIRStats": "core/hir.py",
+}
+
+_NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
+
+#: Rules not enforced in test files: tests assert exact float values on
+#: deterministic outputs on purpose, and construct observations whose
+#: non-None-ness the test itself established.
+_RELAXED_IN_TESTS = {"REP004", "REP005"}
+
+
+def _is_test_file(path: str) -> bool:
+    parts = Path(path).parts
+    return "tests" in parts or Path(path).name.startswith("test_")
+
+
+@dataclass(frozen=True)
+class LintFinding:
+    """One rule violation at one source location."""
+
+    code: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def render(self) -> str:
+        """``path:line:col: CODE message`` — editor-clickable."""
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` text of a Name/Attribute chain, else ``None``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id in {
+            "list", "dict", "set", "bytearray", "defaultdict", "deque",
+        }
+    return False
+
+
+def _terminates(body: Sequence[ast.stmt]) -> bool:
+    """Does this block unconditionally leave the enclosing scope/loop?"""
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+def _none_test(test: ast.expr, receiver: str) -> Optional[str]:
+    """Classify ``test`` against ``receiver``: 'is-not', 'is', or None."""
+    if (
+        isinstance(test, ast.Compare)
+        and len(test.ops) == 1
+        and isinstance(test.comparators[0], ast.Constant)
+        and test.comparators[0].value is None
+        and _dotted(test.left) == receiver
+    ):
+        if isinstance(test.ops[0], ast.IsNot):
+            return "is-not"
+        if isinstance(test.ops[0], ast.Is):
+            return "is"
+    return None
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file REP001–REP005 visitor.
+
+    The tree is walked once with a parent map so REP004 can climb from an
+    ``emit`` call to its guarding ``if``.
+    """
+
+    def __init__(self, path: str, source: str, tree: ast.Module) -> None:
+        self.path = path
+        self.lines = source.splitlines()
+        self.tree = tree
+        self.findings: list[LintFinding] = []
+        self._parents: dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+
+    # -- reporting -------------------------------------------------------
+
+    def _suppressed(self, line: int, code: str) -> bool:
+        if not 1 <= line <= len(self.lines):
+            return False
+        match = _NOQA_RE.search(self.lines[line - 1])
+        if match is None:
+            return False
+        codes = match.group("codes")
+        if codes is None:
+            return True  # bare "# noqa" silences everything on the line
+        return code.upper() in {c.strip().upper() for c in codes.split(",")}
+
+    def _report(self, node: ast.AST, code: str, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        if self._suppressed(line, code):
+            return
+        self.findings.append(
+            LintFinding(
+                code=code,
+                path=self.path,
+                line=line,
+                col=getattr(node, "col_offset", 0) + 1,
+                message=message,
+            )
+        )
+
+    # -- REP001: seeded randomness only ----------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        target = _dotted(node.func)
+        if target == "random.Random" and not node.args and not node.keywords:
+            self._report(
+                node, "REP001",
+                "unseeded random.Random() — pass an explicit seed",
+            )
+        elif (
+            target is not None
+            and target.startswith("random.")
+            and target.split(".", 1)[1] in _GLOBAL_RNG_FUNCS
+        ):
+            self._report(
+                node, "REP001",
+                f"module-level {target}() uses shared global RNG state; "
+                "use a seeded random.Random instance",
+            )
+        self._check_obs_guard(node)
+        self.generic_visit(node)
+
+    # -- REP002: mutable default arguments --------------------------------
+
+    def _check_defaults(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        args = node.args
+        for default in (*args.defaults, *args.kw_defaults):
+            if default is not None and _is_mutable_literal(default):
+                self._report(
+                    default, "REP002",
+                    f"mutable default argument in {node.name}() is shared "
+                    "across calls; default to None instead",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+        self.generic_visit(node)
+
+    # -- REP003: complete policy interfaces -------------------------------
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        bases = {_dotted(base) for base in node.bases}
+        if bases & {"EvictionPolicy", "base.EvictionPolicy"}:
+            defined = {
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            }
+            for required in ("on_page_in", "select_victim"):
+                if required not in defined:
+                    self._report(
+                        node, "REP003",
+                        f"policy {node.name} does not define {required}(); "
+                        "every EvictionPolicy subclass must implement both "
+                        "abstract methods itself",
+                    )
+        self.generic_visit(node)
+
+    # -- REP004: the single obs guard pattern -----------------------------
+
+    def _check_obs_guard(self, node: ast.Call) -> None:
+        func = node.func
+        if not (isinstance(func, ast.Attribute) and func.attr == "emit"):
+            return
+        receiver = _dotted(func.value)
+        if receiver is None:
+            return
+        if receiver.split(".")[-1] not in _OBS_NAMES:
+            return
+        if self._obs_guarded(node, receiver):
+            return
+        self._report(
+            node, "REP004",
+            f"{receiver}.emit() outside an `if {receiver} is not None:` "
+            "guard — observation must stay one pointer check when off",
+        )
+
+    def _obs_guarded(self, node: ast.Call, receiver: str) -> bool:
+        child: ast.AST = node
+        parent = self._parents.get(child)
+        while parent is not None:
+            if isinstance(parent, ast.If):
+                kind = _none_test(parent.test, receiver)
+                in_body = any(child is stmt or self._contains(stmt, child)
+                              for stmt in parent.body)
+                if kind == "is-not" and in_body:
+                    return True
+                if kind == "is" and not in_body:
+                    return True  # else-branch of `if obs is None:`
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                # Helper pattern: the obs handle is a parameter, checked
+                # at every call site (e.g. HPE._snapshot_interval).
+                params = {a.arg for a in (*parent.args.posonlyargs,
+                                          *parent.args.args,
+                                          *parent.args.kwonlyargs)}
+                if receiver in params:
+                    return True
+                # Early-exit pattern: `if obs is None: return` earlier in
+                # the same function body.
+                for stmt in parent.body:
+                    if stmt.lineno >= node.lineno:
+                        break
+                    if (
+                        isinstance(stmt, ast.If)
+                        and _none_test(stmt.test, receiver) == "is"
+                        and _terminates(stmt.body)
+                    ):
+                        return True
+                return False
+            child, parent = parent, self._parents.get(parent)
+        return False
+
+    @staticmethod
+    def _contains(root: ast.AST, target: ast.AST) -> bool:
+        return any(n is target for n in ast.walk(root))
+
+    # -- REP005: no float equality ----------------------------------------
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, right in zip(node.ops, node.comparators):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            if any(
+                isinstance(operand, ast.Constant)
+                and isinstance(operand.value, float)
+                for operand in operands
+            ):
+                self._report(
+                    right, "REP005",
+                    "float equality comparison — use math.isclose or an "
+                    "explicit tolerance",
+                )
+                break
+        self.generic_visit(node)
+
+
+def lint_source(path: str, source: str) -> list[LintFinding]:
+    """Run REP001–REP005 over one file's source text."""
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        return [
+            LintFinding(
+                code="REP000",
+                path=path,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    linter = _FileLinter(path, source, tree)
+    linter.visit(tree)
+    if _is_test_file(path):
+        return [f for f in linter.findings
+                if f.code not in _RELAXED_IN_TESTS]
+    return linter.findings
+
+
+def lint_file(path: Path) -> list[LintFinding]:
+    """Lint one file from disk."""
+    return lint_source(str(path), path.read_text(encoding="utf-8"))
+
+
+def iter_python_files(paths: Iterable[Path]) -> list[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            out.update(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+# -- REP006: cache schema fingerprints ------------------------------------
+
+
+def dataclass_fingerprint(tree: ast.Module, class_name: str) -> Optional[str]:
+    """32-hex-char digest of a dataclass's ordered ``name:annotation`` list.
+
+    AST-only on purpose: importing the module would execute it, and the
+    fingerprint must not depend on runtime state.
+    """
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = [
+                f"{stmt.target.id}:{ast.unparse(stmt.annotation)}"
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            ]
+            blob = ";".join(fields).encode("utf-8")
+            return hashlib.sha256(blob).hexdigest()[:32]
+    return None
+
+
+def _read_schema_version(cache_py: Path) -> Optional[int]:
+    tree = ast.parse(cache_py.read_text(encoding="utf-8"))
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if (
+                    isinstance(target, ast.Name)
+                    and target.id == "CACHE_SCHEMA_VERSION"
+                    and isinstance(node.value, ast.Constant)
+                    and isinstance(node.value.value, int)
+                ):
+                    return node.value.value
+    return None
+
+
+def current_fingerprints(package_root: Path) -> dict[str, Optional[str]]:
+    """Compute the live fingerprint of each cache-pickled dataclass."""
+    out: dict[str, Optional[str]] = {}
+    for name, rel in _CACHED_DATACLASSES.items():
+        source_file = package_root / rel
+        if not source_file.exists():
+            out[name] = None
+            continue
+        tree = ast.parse(source_file.read_text(encoding="utf-8"))
+        out[name] = dataclass_fingerprint(tree, name)
+    return out
+
+
+def check_cache_schema(package_root: Path) -> list[LintFinding]:
+    """REP006: cached dataclass changes require a schema version bump."""
+    cache_py = package_root / "sim" / "cache.py"
+    if not cache_py.exists():
+        return []
+    version = _read_schema_version(cache_py)
+    if version is None:
+        return [
+            LintFinding(
+                "REP006", str(cache_py), 1, 1,
+                "CACHE_SCHEMA_VERSION not found as an integer constant",
+            )
+        ]
+    expected = CACHE_FINGERPRINTS.get(version)
+    if expected is None:
+        return [
+            LintFinding(
+                "REP006", str(cache_py), 1, 1,
+                f"CACHE_SCHEMA_VERSION={version} has no fingerprint row in "
+                "repro/check/lint.py CACHE_FINGERPRINTS — record the new "
+                "schema (repro lint --fingerprints prints it)",
+            )
+        ]
+    findings: list[LintFinding] = []
+    for name, fingerprint in current_fingerprints(package_root).items():
+        want = expected.get(name)
+        if fingerprint is None:
+            findings.append(
+                LintFinding(
+                    "REP006", str(package_root / _CACHED_DATACLASSES[name]),
+                    1, 1, f"cached dataclass {name} not found",
+                )
+            )
+        elif fingerprint != want:
+            findings.append(
+                LintFinding(
+                    "REP006", str(package_root / _CACHED_DATACLASSES[name]),
+                    1, 1,
+                    f"fields of pickled dataclass {name} changed "
+                    f"(fingerprint {fingerprint}, schema v{version} expects "
+                    f"{want}); bump CACHE_SCHEMA_VERSION and add a "
+                    "CACHE_FINGERPRINTS row",
+                )
+            )
+    return findings
+
+
+def default_package_root() -> Path:
+    """``src/repro`` as installed — the directory containing this package."""
+    return Path(__file__).resolve().parents[1]
+
+
+def run_lint(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    include_schema_check: bool = True,
+) -> list[LintFinding]:
+    """Lint ``paths`` (default: the whole ``repro`` package) and REP006."""
+    root = default_package_root()
+    targets = [Path(p) for p in paths] if paths else [root]
+    findings: list[LintFinding] = []
+    for file in iter_python_files(targets):
+        findings.extend(lint_file(file))
+    if include_schema_check:
+        findings.extend(check_cache_schema(root))
+    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.check.lint [--fingerprints] [paths...]``."""
+    args = list(sys.argv[1:] if argv is None else argv)
+    if "--fingerprints" in args:
+        for name, fingerprint in current_fingerprints(
+            default_package_root()
+        ).items():
+            print(f"{name}: {fingerprint}")
+        return 0
+    findings = run_lint([Path(a) for a in args] or None)
+    for finding in findings:
+        print(finding.render())
+    if findings:
+        print(f"{len(findings)} problem(s) found")
+        return 1
+    print("repro lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,204 @@
+"""Strict typing gate (``repro typecheck``).
+
+Two enforcement layers, so the gate degrades gracefully on machines
+without mypy while CI still gets the full strict run:
+
+1. **mypy strict** — when :mod:`mypy` is importable, run its API with
+   the ``pyproject.toml`` configuration (strict on ``repro.core`` /
+   ``repro.sim`` / ``repro.policies`` / ``repro.check``, permissive
+   elsewhere).
+2. **AST annotation-completeness** — always runs.  Every function and
+   method in a strict package must annotate its return type and every
+   parameter (``self``/``cls`` excepted, ``*args``/``**kwargs``
+   included).  This is the invariant that makes the mypy-strict run
+   meaningful: strict mode only checks bodies whose signatures are
+   annotated.
+
+Pure :mod:`ast` like the lint pass — nothing under ``src`` is imported.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Optional, Sequence
+
+#: Packages (relative to ``src/repro``) held to full annotation coverage.
+STRICT_PACKAGES: tuple[str, ...] = (
+    "core",
+    "sim",
+    "policies",
+    "memory",
+    "tlb",
+    "uvm",
+    "check",
+)
+
+#: Decorators whose functions are exempt (their signatures are fixed by
+#: an external protocol, not by us).
+_EXEMPT_DECORATORS = {"overload"}
+
+
+@dataclass(frozen=True)
+class TypeGap:
+    """One missing annotation."""
+
+    path: str
+    line: int
+    function: str
+    missing: str  # "return" or the parameter name
+
+    def render(self) -> str:
+        what = (
+            "return type" if self.missing == "return"
+            else f"parameter '{self.missing}'"
+        )
+        return f"{self.path}:{self.line}: {self.function}() missing {what}"
+
+
+def _decorator_names(node: ast.FunctionDef | ast.AsyncFunctionDef) -> set[str]:
+    names: set[str] = set()
+    for dec in node.decorator_list:
+        target = dec.func if isinstance(dec, ast.Call) else dec
+        if isinstance(target, ast.Attribute):
+            names.add(target.attr)
+        elif isinstance(target, ast.Name):
+            names.add(target.id)
+    return names
+
+
+def _function_gaps(
+    node: ast.FunctionDef | ast.AsyncFunctionDef,
+    path: str,
+    qualname: str,
+    is_method: bool,
+) -> list[TypeGap]:
+    if _decorator_names(node) & _EXEMPT_DECORATORS:
+        return []
+    gaps: list[TypeGap] = []
+    args = node.args
+    positional = [*args.posonlyargs, *args.args]
+    for index, arg in enumerate(positional):
+        if is_method and index == 0 and arg.arg in {"self", "cls"}:
+            continue
+        if arg.annotation is None:
+            gaps.append(TypeGap(path, arg.lineno, qualname, arg.arg))
+    for arg in args.kwonlyargs:
+        if arg.annotation is None:
+            gaps.append(TypeGap(path, arg.lineno, qualname, arg.arg))
+    for star in (args.vararg, args.kwarg):
+        if star is not None and star.annotation is None:
+            gaps.append(TypeGap(path, star.lineno, qualname, star.arg))
+    if node.returns is None:
+        gaps.append(TypeGap(path, node.lineno, qualname, "return"))
+    return gaps
+
+
+def _walk_scope(
+    body: Iterable[ast.stmt],
+    path: str,
+    prefix: str,
+    in_class: bool,
+    gaps: list[TypeGap],
+) -> None:
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            qualname = f"{prefix}{stmt.name}"
+            gaps.extend(_function_gaps(stmt, path, qualname, in_class))
+            # Nested defs (closures/factories): annotate those too.
+            _walk_scope(stmt.body, path, f"{qualname}.", False, gaps)
+        elif isinstance(stmt, ast.ClassDef):
+            _walk_scope(
+                stmt.body, path, f"{prefix}{stmt.name}.", True, gaps
+            )
+
+
+def annotation_gaps(path: Path) -> list[TypeGap]:
+    """All missing annotations in one file."""
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    gaps: list[TypeGap] = []
+    _walk_scope(tree.body, str(path), "", False, gaps)
+    return gaps
+
+
+def default_package_root() -> Path:
+    """``src/repro`` as installed — the directory containing this package."""
+    return Path(__file__).resolve().parents[1]
+
+
+def strict_files(package_root: Optional[Path] = None) -> list[Path]:
+    """Every ``.py`` file held to full annotation coverage."""
+    root = package_root or default_package_root()
+    files: list[Path] = []
+    for package in STRICT_PACKAGES:
+        directory = root / package
+        if directory.is_dir():
+            files.extend(sorted(directory.rglob("*.py")))
+    return files
+
+
+def run_annotation_gate(
+    package_root: Optional[Path] = None,
+) -> list[TypeGap]:
+    """AST annotation-completeness over all strict packages."""
+    gaps: list[TypeGap] = []
+    for file in strict_files(package_root):
+        gaps.extend(annotation_gaps(file))
+    return gaps
+
+
+def mypy_available() -> bool:
+    """Is mypy importable in this interpreter?"""
+    try:
+        import mypy.api  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def run_mypy(package_root: Optional[Path] = None) -> tuple[int, str]:
+    """Run mypy's API over the strict packages; ``(exit_code, report)``.
+
+    Configuration comes from ``pyproject.toml`` at the repo root (mypy
+    discovers it from the analysed paths).  Returns ``(0, ...)`` when
+    clean; callers must gate on :func:`mypy_available` first.
+    """
+    from mypy import api
+
+    root = package_root or default_package_root()
+    targets = [str(root / package) for package in STRICT_PACKAGES]
+    stdout, stderr, exit_code = api.run(targets)
+    return exit_code, (stdout + stderr).strip()
+
+
+def run_typegate(
+    package_root: Optional[Path] = None, *, verbose: bool = True
+) -> int:
+    """Full gate: annotation completeness always, mypy when available."""
+    gaps = run_annotation_gate(package_root)
+    for gap in gaps:
+        if verbose:
+            print(gap.render())
+    failed = bool(gaps)
+    if verbose and gaps:
+        print(f"{len(gaps)} missing annotation(s)")
+    if mypy_available():
+        exit_code, report = run_mypy(package_root)
+        if verbose and report:
+            print(report)
+        failed = failed or exit_code != 0
+    elif verbose:
+        print("mypy not installed — AST annotation gate only")
+    if verbose and not failed:
+        print("repro typecheck: clean")
+    return 1 if failed else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.check.typegate``."""
+    return run_typegate()
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -26,6 +26,15 @@ Subcommands
     Reuse-distance / pattern analysis of an application or trace file.
 ``cache``
     Inspect or clear the persistent result/trace cache.
+``check``
+    Correctness tooling: ``check invariants APP [POLICY] [RATE]`` runs
+    one simulation under the runtime sanitizer; ``check determinism``
+    replays it twice and diffs the metric digests.
+``lint``
+    Run the repo-specific AST lint pass (REP001–REP006).
+``typecheck``
+    Run the strict typing gate (mypy when installed, plus the AST
+    annotation-completeness check).
 ``all``
     Regenerate everything (used to refresh EXPERIMENTS.md data).
 """
@@ -73,6 +82,9 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                         help="enable the observability layer (metrics "
                              "registry + interval time-series; same as "
                              "REPRO_OBS=1)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="validate simulator invariants while running "
+                             "(same as REPRO_SANITIZE=1)")
 
 
 def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
@@ -170,6 +182,38 @@ def build_parser() -> argparse.ArgumentParser:
                          help="info: show location and entry counts; "
                               "clear: delete every cached result and trace")
 
+    check_p = sub.add_parser(
+        "check",
+        help="run a correctness check (sanitized run or determinism diff)",
+    )
+    check_p.add_argument("mode", choices=["invariants", "determinism"],
+                         help="invariants: one sanitized simulation; "
+                              "determinism: run twice and diff digests")
+    check_p.add_argument("app_pos", metavar="APP",
+                         help="application abbreviation")
+    check_p.add_argument("policy_pos", nargs="?", metavar="POLICY",
+                         default="hpe", help="policy (default hpe)")
+    check_p.add_argument("rate_pos", nargs="?", metavar="RATE", type=float,
+                         default=0.75,
+                         help="oversubscription rate (default 0.75)")
+    check_p.add_argument("--fast", action="store_true",
+                         help="smoke mode: sanitize only the first "
+                              "2000 faults")
+    _add_common(check_p)
+
+    lint_p = sub.add_parser(
+        "lint", help="run the repo-specific AST lint pass (REP001-REP006)"
+    )
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories (default: the installed "
+                             "repro package)")
+
+    sub.add_parser(
+        "typecheck",
+        help="strict typing gate (mypy if installed + AST annotation "
+             "completeness)",
+    )
+
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     _add_common(all_p)
 
@@ -185,6 +229,13 @@ def _apply_runtime_flags(args: argparse.Namespace) -> None:
         sim_cache.configure(enabled=False)
     if getattr(args, "obs", False):
         obs_module.configure(enabled=True)
+    if getattr(args, "sanitize", False):
+        from repro import check as check_module
+
+        check_module.configure(enabled=True)
+        # A sanitized run must never be served from (or poison) the
+        # result cache of unsanitized runs while being debugged.
+        sim_cache.configure(enabled=False)
 
 
 def _common_kwargs(args: argparse.Namespace) -> dict:
@@ -257,6 +308,49 @@ def _dump_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_check(args: argparse.Namespace) -> int:
+    """``check {invariants,determinism} APP [POLICY] [RATE]``."""
+    from repro import check as check_module
+    from repro.check import InvariantViolation
+
+    app = args.app_pos.upper()
+    policy = args.policy_pos
+    rate = args.rate_pos
+    if args.mode == "determinism":
+        from repro.check.determinism import check_determinism
+
+        report = check_determinism(
+            app, policy, rate, seed=args.seed, scale=args.scale
+        )
+        print(report.render())
+        return 0 if report.deterministic else 1
+
+    check_module.configure(enabled=True, fast=args.fast)
+    start = time.time()
+    try:
+        result = run_application(
+            app, policy, rate,
+            seed=args.seed, scale=args.scale, use_cache=False,
+        )
+    except InvariantViolation as violation:
+        print(violation.render())
+        print(f"{app} / {policy} @ {rate:.0%}: INVARIANT VIOLATION")
+        return 1
+    finally:
+        check_module.configure(enabled=False, fast=False)
+    elapsed = time.time() - start
+    stats = result.extras.get("sanitizer")
+    print(f"{app} / {policy} @ {rate:.0%}: all invariants hold "
+          f"({elapsed:.2f}s)")
+    if stats is not None:
+        print(f"faults sanitized : {stats.faults_seen}"
+              f"{' (fast mode cap hit)' if stats.capped else ''}")
+        print(f"sweeps           : {stats.sweeps} "
+              f"({stats.interval_sweeps} at interval boundaries)")
+        print(f"invariant checks : {stats.invariants_checked}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -280,6 +374,28 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"cached traces : {info['traces']} "
               f"({info['trace_bytes'] / 1024:.1f} KiB)")
         return 0
+
+    if args.command == "check":
+        return _run_check(args)
+
+    if args.command == "lint":
+        from pathlib import Path
+
+        from repro.check.lint import run_lint
+
+        findings = run_lint([Path(p) for p in args.paths] or None)
+        for finding in findings:
+            print(finding.render())
+        if findings:
+            print(f"{len(findings)} problem(s) found")
+            return 1
+        print("repro lint: clean")
+        return 0
+
+    if args.command == "typecheck":
+        from repro.check.typegate import run_typegate
+
+        return run_typegate()
 
     if args.command == "list":
         print(f"{'abbr':5s} {'type':4s} {'suite':10s} application")

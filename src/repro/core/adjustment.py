@@ -35,9 +35,13 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.classifier import Category
 from repro.core.strategies import StrategyKind
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 class EvictionFIFO:
@@ -92,7 +96,7 @@ class AdjustmentStats:
     jump_adjustments: int = 0
     segments: list[StrategySegment] = field(default_factory=list)
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold the whole-run tallies into a ``MetricsRegistry``."""
         registry.inc("adjustment.wrong_evictions", self.wrong_evictions_total)
         registry.inc("adjustment.strategy_switches", self.strategy_switches)

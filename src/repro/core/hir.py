@@ -16,8 +16,12 @@ MVT").
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.memory.addressing import PageSetGeometry, is_power_of_two
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 #: Hardware counter width in bits (Section V-C overhead analysis).
 COUNTER_BITS = 2
@@ -58,7 +62,7 @@ class HIRStats:
             return 0.0
         return self.entries_transferred / self.transfers
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold the lifetime tallies into a ``MetricsRegistry``."""
         registry.inc("hir.records", self.records)
         registry.inc("hir.conflicts", self.conflicts)

@@ -23,7 +23,7 @@ using HIR" (used in the Section V-A sensitivity studies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.adjustment import DynamicAdjustment
 from repro.core.chain import PageSetChain
@@ -44,6 +44,10 @@ from repro.core.pageset import (
 from repro.core.strategies import SearchResult, StrategyKind, select
 from repro.memory.addressing import PageSetGeometry
 from repro.obs import finite_or_none as _finite_or_none
+
+if TYPE_CHECKING:
+    from repro.obs import Observation
+    from repro.obs.registry import MetricsRegistry
 from repro.policies.base import EvictionPolicy, PolicyError
 
 
@@ -142,7 +146,7 @@ class HPEPolicy(EvictionPolicy):
     # Observability
     # ------------------------------------------------------------------
 
-    def attach_observation(self, obs) -> None:
+    def attach_observation(self, obs: Observation) -> None:
         """Wire an :class:`repro.obs.Observation` into HPE's internals.
 
         Interval advances then record time-series snapshots, HIR ingests
@@ -153,9 +157,12 @@ class HPEPolicy(EvictionPolicy):
         if self.adjustment is not None:
             self.adjustment.obs = obs
 
-    def _snapshot_interval(self) -> None:
-        """One per-interval snapshot of the observable internals."""
-        obs = self._obs
+    def _snapshot_interval(self, obs: Observation) -> None:
+        """One per-interval snapshot of the observable internals.
+
+        ``obs`` is the caller's already-``is not None``-checked handle,
+        so this helper never re-reads ``self._obs``.
+        """
         chain = self.chain
         old, middle, new = chain.partition_sizes()
         adjustment = self.adjustment
@@ -188,7 +195,7 @@ class HPEPolicy(EvictionPolicy):
             new=new,
         )
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold HPE / HIR / adjustment whole-run tallies into a registry."""
         stats = self.stats
         registry.inc("hpe.faults", stats.faults)
@@ -353,8 +360,9 @@ class HPEPolicy(EvictionPolicy):
             self.chain.advance_interval()
             if adjustment is not None:
                 adjustment.on_interval_end()
-            if self._obs is not None:
-                self._snapshot_interval()
+            obs = self._obs
+            if obs is not None:
+                self._snapshot_interval(obs)
 
     # ------------------------------------------------------------------
     # Classification (lazy: runs when memory is first full)

@@ -36,7 +36,7 @@ import pickle
 import tempfile
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.core.hpe import HPEConfig
 from repro.sim.config import GPUConfig
@@ -44,10 +44,16 @@ from repro.sim.results import SimulationResult
 from repro.workloads.base import Trace
 from repro.workloads.trace_io import TraceFormatError, load_trace, save_trace
 
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
+
 #: Bump when the simulator's observable behaviour changes, so stale
 #: results from an older code generation can never be returned.
 #: v2: HIRStats grew ``empty_transfers`` (old pickles lack the field).
-CACHE_SCHEMA_VERSION = 2
+#: v3: fault-around neighbours migrate before the demand page (a
+#:     prefetch eviction could previously evict the page being
+#:     serviced), changing prefetch-run metrics.
+CACHE_SCHEMA_VERSION = 3
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_ENABLED = "REPRO_CACHE"
@@ -101,7 +107,7 @@ class CacheStats:
     trace_hits: int = 0
     trace_misses: int = 0
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Expose the tallies as gauges in a ``MetricsRegistry``.
 
         Gauges, not counters: the backing stats object is process-wide

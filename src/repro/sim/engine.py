@@ -24,8 +24,10 @@ lose exactly through the evictions they cause.
 from __future__ import annotations
 
 import os
-from typing import Optional, Sequence
+from typing import TYPE_CHECKING, Optional, Sequence
 
+from repro import check as check_module
+from repro.check.invariants import InvariantChecker
 from repro.memory.frames import FramePool
 from repro.memory.page_table import PageTable
 from repro.policies.base import EvictionPolicy
@@ -34,6 +36,9 @@ from repro.sim.results import SimulationResult
 from repro.tlb.hierarchy import TLBHierarchy, TranslationLevel
 from repro.tlb.walker import PageTableWalker
 from repro.uvm.driver import UVMDriver
+
+if TYPE_CHECKING:
+    from repro.obs import Observation
 
 
 class UVMSimulator:
@@ -45,7 +50,8 @@ class UVMSimulator:
         capacity_pages: int,
         config: Optional[GPUConfig] = None,
         prefetch_degree: int = 0,
-        obs=None,
+        obs: Optional["Observation"] = None,
+        sanitize: Optional[bool] = None,
     ) -> None:
         self.config = config or GPUConfig()
         self.policy = policy
@@ -78,6 +84,15 @@ class UVMSimulator:
             attach = getattr(policy, "attach_observation", None)
             if attach is not None:
                 attach(obs)
+        #: Optional :class:`repro.check.InvariantChecker` — the runtime
+        #: sanitizer (``REPRO_SANITIZE=1`` / ``--sanitize``).  ``None``
+        #: (the default) costs the driver one pointer check per fault.
+        if sanitize is None:
+            sanitize = check_module.sanitize_enabled()
+        self.checker: Optional[InvariantChecker] = None
+        if sanitize:
+            self.checker = check_module.make_checker(self)
+            self.driver.checker = self.checker
 
     def run(
         self,
@@ -340,6 +355,9 @@ class UVMSimulator:
         hierarchy = self.hierarchy
         instructions = len(trace) * self.config.instructions_per_access
         extras: dict = {}
+        if self.checker is not None:
+            self.checker.final_check()
+            extras["sanitizer"] = self.checker.stats
         stats = getattr(policy, "stats", None)
         if stats is not None:
             extras["policy_stats"] = stats
@@ -388,10 +406,12 @@ def simulate(
     config: Optional[GPUConfig] = None,
     workload_name: str = "trace",
     prefetch_degree: int = 0,
-    obs=None,
+    obs: Optional["Observation"] = None,
+    sanitize: Optional[bool] = None,
 ) -> SimulationResult:
     """Convenience wrapper: build a simulator and run ``trace`` once."""
     simulator = UVMSimulator(
-        policy, capacity_pages, config, prefetch_degree, obs=obs
+        policy, capacity_pages, config, prefetch_degree, obs=obs,
+        sanitize=sanitize,
     )
     return simulator.run(trace, workload_name=workload_name)

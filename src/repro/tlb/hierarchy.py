@@ -13,8 +13,12 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.tlb.tlb import TLB, TLBConfig
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 
 class TranslationLevel(enum.Enum):
@@ -131,7 +135,7 @@ class TLBHierarchy:
             tlb.flush()
         self.l2_tlb.flush()
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold per-level hit/miss/eviction tallies into a registry.
 
         L1 counters are summed over SMs (``tlb.l1.*``); the shared L2

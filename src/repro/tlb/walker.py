@@ -9,9 +9,12 @@ path (for LRU/RRIP/CLOCK-Pro) both subscribe to page-walk hits.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.memory.page_table import PageTable, PageTableEntry
+
+if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
 
 #: Callback signature invoked with the page number of a page-walk hit.
 WalkHitListener = Callable[[int], None]
@@ -52,7 +55,7 @@ class PageTableWalker:
         self.hits = 0
         self.faults = 0
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold the walk/hit/fault tallies into a ``MetricsRegistry``."""
         registry.inc("walker.walks", self.walks)
         registry.inc("walker.hits", self.hits)

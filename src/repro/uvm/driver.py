@@ -16,13 +16,18 @@ the engine to convert into cycles.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.memory.addressing import PAGE_SIZE_BYTES
 from repro.memory.frames import FramePool
 from repro.memory.page_table import PageTable
 from repro.policies.base import EvictionPolicy
 from repro.tlb.hierarchy import TLBHierarchy
+
+if TYPE_CHECKING:
+    from repro.check.invariants import InvariantChecker
+    from repro.obs import Observation
+    from repro.obs.registry import MetricsRegistry
 
 
 @dataclass
@@ -43,7 +48,7 @@ class DriverStats:
         """Faults on pages that were previously resident (thrashing)."""
         return self.capacity_faults
 
-    def observe_into(self, registry) -> None:
+    def observe_into(self, registry: MetricsRegistry) -> None:
         """Fold the whole-run tallies into a ``MetricsRegistry``."""
         registry.inc("driver.faults", self.faults)
         registry.inc("driver.compulsory_faults", self.compulsory_faults)
@@ -76,7 +81,7 @@ class UVMDriver:
         tlb_hierarchy: Optional[TLBHierarchy] = None,
         page_size_bytes: int = PAGE_SIZE_BYTES,
         prefetch_degree: int = 0,
-        obs: Optional[object] = None,
+        obs: Optional["Observation"] = None,
     ) -> None:
         if prefetch_degree < 0:
             raise ValueError("prefetch_degree must be non-negative")
@@ -92,6 +97,10 @@ class UVMDriver:
         #: Optional :class:`repro.obs.Observation`; ``None`` (the default)
         #: keeps the fault path observation-free.
         self.obs = obs
+        #: Optional :class:`repro.check.InvariantChecker` installed by the
+        #: engine when sanitizing (``REPRO_SANITIZE=1``); ``None`` keeps
+        #: the fault path at one pointer check.
+        self.checker: Optional["InvariantChecker"] = None
         self.stats = DriverStats()
         self._ever_touched: set[int] = set()
 
@@ -140,6 +149,23 @@ class UVMDriver:
             stats.compulsory_faults += 1
             compulsory = True
 
+        # Fault-around neighbours migrate BEFORE the faulting page.  A
+        # prefetch eviction is free to pick any resident page — were the
+        # demand page already mapped, an MRU-leaning policy (HPE's MRU-C)
+        # could evict it mid-service, leaving the returned frame dangling
+        # and the engine's TLB refill pointing at a non-resident page.
+        bytes_moved = 0
+        for ahead in range(1, self.prefetch_degree + 1):
+            neighbour = page + ahead
+            if frame_pool.is_resident(neighbour):
+                continue
+            _, prefetch_victim = self._migrate_in(neighbour)
+            self._ever_touched.add(neighbour)
+            stats.prefetches += 1
+            bytes_moved += page_size
+            if prefetch_victim is not None:
+                bytes_moved += page_size
+
         policy.on_fault_pending(page)
         # Inlined _migrate_in/_evict_one: one fault means up to four
         # method calls through here, and this path dominates every
@@ -157,7 +183,7 @@ class UVMDriver:
         page_table.install(page, frame, fault_number=stats.faults)
         stats.bytes_migrated_in += page_size
         policy.on_page_in(page, stats.faults)
-        bytes_moved = page_size
+        bytes_moved += page_size
         if evicted is not None:
             bytes_moved += page_size  # the eviction writeback
 
@@ -174,16 +200,9 @@ class UVMDriver:
                     "eviction", page=evicted, fault_number=stats.faults
                 )
 
-        for ahead in range(1, self.prefetch_degree + 1):
-            neighbour = page + ahead
-            if self.frame_pool.is_resident(neighbour):
-                continue
-            _, prefetch_victim = self._migrate_in(neighbour)
-            self._ever_touched.add(neighbour)
-            stats.prefetches += 1
-            bytes_moved += page_size
-            if prefetch_victim is not None:
-                bytes_moved += page_size
+        checker = self.checker
+        if checker is not None:
+            checker.after_fault(page)
 
         return frame, evicted, bytes_moved
 

@@ -1,0 +1,1 @@
+"""Tests for the correctness tooling (repro.check)."""

@@ -1,0 +1,45 @@
+"""Tests of the run-twice determinism checker."""
+
+from __future__ import annotations
+
+from repro.check.determinism import (
+    check_determinism,
+    diff_metrics,
+    metrics_digest,
+)
+
+
+def test_digest_is_stable_and_order_insensitive() -> None:
+    a = {"x": 1, "nested": {"b": 2, "a": 3}}
+    b = {"nested": {"a": 3, "b": 2}, "x": 1}
+    assert metrics_digest(a) == metrics_digest(b)
+    assert len(metrics_digest(a)) == 64
+
+
+def test_digest_changes_with_values() -> None:
+    assert metrics_digest({"x": 1}) != metrics_digest({"x": 2})
+
+
+def test_diff_metrics_pinpoints_paths() -> None:
+    first = {"cycles": 10, "driver": {"faults": 5, "evictions": 2}}
+    second = {"cycles": 10, "driver": {"faults": 6, "evictions": 2}}
+    assert diff_metrics(first, second) == ["driver.faults: 5 != 6"]
+
+
+def test_diff_metrics_reports_missing_keys() -> None:
+    diffs = diff_metrics({"a": 1}, {"b": 1})
+    assert sorted(diffs) == ["a (missing on one side)",
+                             "b (missing on one side)"]
+
+
+def test_simulator_is_deterministic() -> None:
+    """The pipeline contract: same inputs, bit-identical metrics."""
+    report = check_determinism("STN", "hpe", 0.75, scale=0.25)
+    assert report.deterministic, report.render()
+    assert report.differences == []
+    assert "deterministic" in report.render()
+
+
+def test_random_policy_is_seeded_deterministic() -> None:
+    report = check_determinism("BFS", "random", 0.5, scale=0.25)
+    assert report.deterministic, report.render()

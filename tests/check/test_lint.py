@@ -1,0 +1,284 @@
+"""Rule-by-rule tests of the custom AST lint pass."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.check import lint
+from repro.check.lint import (
+    CACHE_FINGERPRINTS,
+    check_cache_schema,
+    current_fingerprints,
+    dataclass_fingerprint,
+    default_package_root,
+    lint_source,
+    run_lint,
+)
+
+import ast
+
+
+def _codes(source: str, path: str = "x.py") -> list[str]:
+    return [f.code for f in lint_source(path, textwrap.dedent(source))]
+
+
+# -- REP001 ----------------------------------------------------------------
+
+
+def test_unseeded_random_instance_flagged() -> None:
+    assert _codes("import random\nrng = random.Random()\n") == ["REP001"]
+
+
+def test_seeded_random_instance_ok() -> None:
+    assert _codes("import random\nrng = random.Random(7)\n") == []
+
+
+def test_module_level_random_call_flagged() -> None:
+    assert _codes("import random\nx = random.choice([1, 2])\n") == ["REP001"]
+    assert _codes("import random\nrandom.shuffle(items)\n") == ["REP001"]
+
+
+def test_instance_method_calls_ok() -> None:
+    source = """
+    import random
+    rng = random.Random(3)
+    x = rng.choice([1, 2])
+    """
+    assert _codes(source) == []
+
+
+# -- REP002 ----------------------------------------------------------------
+
+
+def test_mutable_default_list_flagged() -> None:
+    assert _codes("def f(x=[]):\n    return x\n") == ["REP002"]
+
+
+def test_mutable_default_dict_call_flagged() -> None:
+    assert _codes("def f(x=dict()):\n    return x\n") == ["REP002"]
+
+
+def test_mutable_kwonly_default_flagged() -> None:
+    assert _codes("def f(*, x={}):\n    return x\n") == ["REP002"]
+
+
+def test_none_default_ok() -> None:
+    assert _codes("def f(x=None, y=(), z=0):\n    return x\n") == []
+
+
+# -- REP003 ----------------------------------------------------------------
+
+
+def test_incomplete_policy_flagged() -> None:
+    source = """
+    class HalfPolicy(EvictionPolicy):
+        def on_page_in(self, page, fault_number):
+            pass
+    """
+    findings = lint_source("p.py", textwrap.dedent(source))
+    assert [f.code for f in findings] == ["REP003"]
+    assert "select_victim" in findings[0].message
+
+
+def test_complete_policy_ok() -> None:
+    source = """
+    class FullPolicy(EvictionPolicy):
+        def on_page_in(self, page, fault_number):
+            pass
+
+        def select_victim(self):
+            return 0
+    """
+    assert _codes(source) == []
+
+
+def test_unrelated_class_ignored() -> None:
+    assert _codes("class Widget:\n    pass\n") == []
+
+
+# -- REP004 ----------------------------------------------------------------
+
+
+def test_unguarded_emit_flagged() -> None:
+    source = """
+    def run(self):
+        self.obs.emit("fault", page=1)
+    """
+    assert _codes(source) == ["REP004"]
+
+
+def test_is_not_none_guard_ok() -> None:
+    source = """
+    def run(self):
+        if self.obs is not None:
+            self.obs.emit("fault", page=1)
+    """
+    assert _codes(source) == []
+
+
+def test_local_alias_guard_ok() -> None:
+    source = """
+    def run(self):
+        obs = self.obs
+        if obs is not None:
+            obs.emit("fault", page=1)
+    """
+    assert _codes(source) == []
+
+
+def test_truthiness_guard_not_accepted() -> None:
+    source = """
+    def run(self):
+        if self.obs:
+            self.obs.emit("fault", page=1)
+    """
+    assert _codes(source) == ["REP004"]
+
+
+def test_parameter_obs_is_caller_guarded() -> None:
+    source = """
+    def snapshot(self, obs):
+        obs.emit("interval", n=1)
+    """
+    assert _codes(source) == []
+
+
+def test_early_return_guard_ok() -> None:
+    source = """
+    def run(self):
+        obs = self.obs
+        if obs is None:
+            return
+        obs.emit("fault", page=1)
+    """
+    assert _codes(source) == []
+
+
+def test_else_branch_of_is_none_ok() -> None:
+    source = """
+    def run(self):
+        obs = self.obs
+        if obs is None:
+            pass
+        else:
+            obs.emit("fault", page=1)
+    """
+    assert _codes(source) == []
+
+
+def test_non_obs_emit_ignored() -> None:
+    assert _codes("def f(self):\n    self.trace.emit('x')\n") == []
+
+
+# -- REP005 ----------------------------------------------------------------
+
+
+def test_float_equality_flagged() -> None:
+    assert _codes("ok = speedup == 1.3\n") == ["REP005"]
+    assert _codes("ok = 0.5 != ratio\n") == ["REP005"]
+
+
+def test_float_inequality_comparisons_ok() -> None:
+    assert _codes("ok = speedup > 1.3\n") == []
+    assert _codes("ok = abs(x - 0.5) < 1e-9\n") == []
+
+
+def test_int_equality_ok() -> None:
+    assert _codes("ok = faults == 100\n") == []
+
+
+# -- noqa suppression ------------------------------------------------------
+
+
+def test_noqa_with_code_suppresses() -> None:
+    assert _codes("x = random.choice([1])  # noqa: REP001\n") == []
+
+
+def test_bare_noqa_suppresses() -> None:
+    assert _codes("x = random.choice([1])  # noqa\n") == []
+
+
+def test_noqa_other_code_does_not_suppress() -> None:
+    assert _codes("x = random.choice([1])  # noqa: REP005\n") == ["REP001"]
+
+
+# -- REP006 ----------------------------------------------------------------
+
+
+def test_fingerprint_changes_with_fields() -> None:
+    base = ast.parse("class C:\n    a: int = 0\n    b: str = ''\n")
+    grown = ast.parse(
+        "class C:\n    a: int = 0\n    b: str = ''\n    c: int = 0\n"
+    )
+    retyped = ast.parse("class C:\n    a: float = 0\n    b: str = ''\n")
+    fp = dataclass_fingerprint(base, "C")
+    assert fp is not None and len(fp) == 32
+    assert dataclass_fingerprint(base, "C") == fp  # stable
+    assert dataclass_fingerprint(grown, "C") != fp
+    assert dataclass_fingerprint(retyped, "C") != fp
+    assert dataclass_fingerprint(base, "Missing") is None
+
+
+def test_live_schema_matches_recorded_fingerprints() -> None:
+    """The real repo's cached dataclasses match the recorded table.
+
+    When this fails you changed ``SimulationResult`` / ``DriverStats`` /
+    ``HIRStats``: bump ``CACHE_SCHEMA_VERSION`` in ``repro/sim/cache.py``
+    and add the new row printed by ``repro lint --fingerprints``.
+    """
+    assert check_cache_schema(default_package_root()) == []
+
+
+def test_schema_mismatch_detected(tmp_path: Path) -> None:
+    root = tmp_path / "repro"
+    (root / "sim").mkdir(parents=True)
+    (root / "uvm").mkdir()
+    (root / "core").mkdir()
+    (root / "sim" / "cache.py").write_text("CACHE_SCHEMA_VERSION = 2\n")
+    # Same field names as the real dataclasses but different types.
+    (root / "sim" / "results.py").write_text(
+        "class SimulationResult:\n    policy_name: bytes\n"
+    )
+    (root / "uvm" / "driver.py").write_text(
+        "class DriverStats:\n    faults: bytes\n"
+    )
+    (root / "core" / "hir.py").write_text(
+        "class HIRStats:\n    records: bytes\n"
+    )
+    findings = check_cache_schema(root)
+    assert findings and all(f.code == "REP006" for f in findings)
+    assert any("bump CACHE_SCHEMA_VERSION" in f.message for f in findings)
+
+
+def test_unknown_schema_version_detected(tmp_path: Path) -> None:
+    root = tmp_path / "repro"
+    (root / "sim").mkdir(parents=True)
+    (root / "sim" / "cache.py").write_text("CACHE_SCHEMA_VERSION = 999\n")
+    findings = check_cache_schema(root)
+    assert [f.code for f in findings] == ["REP006"]
+    assert "999" in findings[0].message
+
+
+def test_current_fingerprints_cover_schema_table() -> None:
+    live = current_fingerprints(default_package_root())
+    assert set(live) == set(CACHE_FINGERPRINTS[max(CACHE_FINGERPRINTS)])
+
+
+# -- whole-repo gate -------------------------------------------------------
+
+
+def test_repo_is_lint_clean() -> None:
+    """src + tests + scripts carry zero findings (the CI gate)."""
+    repo = default_package_root().parents[1]
+    targets = [p for p in (repo / "src", repo / "tests", repo / "scripts")
+               if p.exists()]
+    findings = run_lint(targets)
+    assert findings == [], "\n".join(f.render() for f in findings)
+
+
+def test_syntax_error_reported_not_raised(tmp_path: Path) -> None:
+    bad = tmp_path / "bad.py"
+    bad.write_text("def broken(:\n")
+    findings = lint.lint_file(bad)
+    assert [f.code for f in findings] == ["REP000"]

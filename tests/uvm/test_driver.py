@@ -145,3 +145,31 @@ class TestPrefetching:
             if not driver.frame_pool.is_resident(page):
                 driver.handle_fault(page)
         assert driver.stats.faults == 8  # one fault per 4 pages
+
+    def test_prefetch_never_evicts_the_faulting_page(self):
+        # Regression: neighbours used to migrate AFTER the demand page,
+        # so an MRU-leaning victim choice (what HPE's MRU-C strategy
+        # does) let a prefetch eviction pick the page whose fault was
+        # being serviced — service_fault then returned a dangling frame
+        # and the engine cached a stale TLB translation for it.
+        from repro.policies.base import EvictionPolicy
+
+        class MRUPolicy(EvictionPolicy):
+            name = "mru-test"
+
+            def __init__(self):
+                self._stack = []
+
+            def on_page_in(self, page, fault_number):
+                self._stack.append(page)
+
+            def select_victim(self):
+                return self._stack.pop()
+
+        pool = FramePool(2)
+        driver = UVMDriver(pool, PageTable(), MRUPolicy(),
+                           prefetch_degree=1)
+        driver.handle_fault(0)  # 0 + prefetch 1 fill memory
+        outcome = driver.handle_fault(10)
+        assert pool.is_resident(10)
+        assert pool.frame_of(10) == outcome.frame

@@ -13,13 +13,13 @@ pick the worker count with ``REPRO_BENCH_JOBS`` (default: serial).
 
 from __future__ import annotations
 
-import json
 import time
 from pathlib import Path
 
 from conftest import bench_apps, bench_jobs, bench_scale
 
 from repro.experiments.runner import clear_trace_cache, run_matrix
+from repro.resil.atomic import atomic_write_json
 from repro.sim import cache as sim_cache
 
 #: Default acceptance slice: one app per pattern type.
@@ -58,7 +58,7 @@ def test_matrix_cold_vs_warm(tmp_path):
         "warm_seconds": round(warm, 4),
         "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
     }
-    OUTPUT.write_text(json.dumps(payload, indent=2) + "\n")
+    atomic_write_json(OUTPUT, payload)
     print()
     print(f"matrix wall-clock: cold {cold:.3f}s, warm {warm:.3f}s "
           f"({payload['warm_speedup']}x) -> {OUTPUT.name}")

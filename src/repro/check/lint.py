@@ -23,6 +23,11 @@ REP006   The pickled result-cache dataclasses (``SimulationResult``,
          ``DriverStats``, ``HIRStats``) are fingerprinted per
          ``CACHE_SCHEMA_VERSION``; changing their fields without
          bumping the version would let stale cache pickles load.
+REP007   No raw atomic-rename plumbing (``os.replace`` / ``os.rename``
+         / ``tempfile.mkstemp``) outside :mod:`repro.resil.atomic` —
+         every persistent write must go through the one blessed
+         fsync'd, checksummed implementation so crash-safety is
+         provable in a single place.
 ======== ==============================================================
 
 Suppression: append ``# noqa`` or ``# noqa: REP00x`` to the flagged
@@ -79,9 +84,13 @@ _CACHED_DATACLASSES = {
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
 
 #: Rules not enforced in test files: tests assert exact float values on
-#: deterministic outputs on purpose, and construct observations whose
-#: non-None-ness the test itself established.
-_RELAXED_IN_TESTS = {"REP004", "REP005"}
+#: deterministic outputs on purpose, construct observations whose
+#: non-None-ness the test itself established, and may write scratch
+#: files without the atomic-persistence discipline.
+_RELAXED_IN_TESTS = {"REP004", "REP005", "REP007"}
+
+#: Calls REP007 forbids outside the blessed module.
+_RAW_PERSISTENCE_CALLS = {"os.replace", "os.rename", "tempfile.mkstemp"}
 
 
 def _is_test_file(path: str) -> bool:
@@ -212,7 +221,25 @@ class _FileLinter(ast.NodeVisitor):
                 "use a seeded random.Random instance",
             )
         self._check_obs_guard(node)
+        self._check_raw_persistence(node, target)
         self.generic_visit(node)
+
+    # -- REP007: atomic persistence goes through resil.atomic -------------
+
+    def _check_raw_persistence(
+        self, node: ast.Call, target: Optional[str]
+    ) -> None:
+        if target not in _RAW_PERSISTENCE_CALLS:
+            return
+        posix = Path(self.path).as_posix()
+        if posix.endswith("resil/atomic.py"):
+            return  # the blessed implementation itself
+        self._report(
+            node, "REP007",
+            f"raw {target}() — persistent writes must go through "
+            "repro.resil.atomic (atomic_write_* / replace_into) so "
+            "fsync + checksum discipline stays in one place",
+        )
 
     # -- REP002: mutable default arguments --------------------------------
 

@@ -5,8 +5,8 @@ without mypy while CI still gets the full strict run:
 
 1. **mypy strict** — when :mod:`mypy` is importable, run its API with
    the ``pyproject.toml`` configuration (strict on ``repro.core`` /
-   ``repro.sim`` / ``repro.policies`` / ``repro.check``, permissive
-   elsewhere).
+   ``repro.sim`` / ``repro.policies`` / ``repro.check`` /
+   ``repro.resil``, permissive elsewhere).
 2. **AST annotation-completeness** — always runs.  Every function and
    method in a strict package must annotate its return type and every
    parameter (``self``/``cls`` excepted, ``*args``/``**kwargs``
@@ -33,6 +33,7 @@ STRICT_PACKAGES: tuple[str, ...] = (
     "tlb",
     "uvm",
     "check",
+    "resil",
 )
 
 #: Decorators whose functions are exempt (their signatures are fixed by

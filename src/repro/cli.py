@@ -29,9 +29,13 @@ Subcommands
 ``check``
     Correctness tooling: ``check invariants APP [POLICY] [RATE]`` runs
     one simulation under the runtime sanitizer; ``check determinism``
-    replays it twice and diffs the metric digests.
+    replays it twice and diffs the metric digests; ``check journal
+    [RUN_ID]`` validates run-journal files against their schema.
+``resume``
+    Resume an interrupted matrix run from its journal (or list the
+    runs on disk when no id is given).
 ``lint``
-    Run the repo-specific AST lint pass (REP001–REP006).
+    Run the repo-specific AST lint pass (REP001–REP007).
 ``typecheck``
     Run the strict typing gate (mypy when installed, plus the AST
     annotation-completeness check).
@@ -85,6 +89,17 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--sanitize", action="store_true",
                         help="validate simulator invariants while running "
                              "(same as REPRO_SANITIZE=1)")
+    parser.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                        help="deterministic fault injection, e.g. "
+                             "'seed=42,crash=0.2,flaky=0.3,torn=0.5' "
+                             "(same as REPRO_CHAOS)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="per-job wall-clock timeout for matrix "
+                             "workers (same as REPRO_TIMEOUT)")
+    parser.add_argument("--retries", type=int, default=None, metavar="N",
+                        help="extra attempts per failed matrix job "
+                             "(same as REPRO_RETRIES)")
 
 
 def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
@@ -186,11 +201,14 @@ def build_parser() -> argparse.ArgumentParser:
         "check",
         help="run a correctness check (sanitized run or determinism diff)",
     )
-    check_p.add_argument("mode", choices=["invariants", "determinism"],
+    check_p.add_argument("mode", choices=["invariants", "determinism",
+                                          "journal"],
                          help="invariants: one sanitized simulation; "
-                              "determinism: run twice and diff digests")
-    check_p.add_argument("app_pos", metavar="APP",
-                         help="application abbreviation")
+                              "determinism: run twice and diff digests; "
+                              "journal: validate run-journal files")
+    check_p.add_argument("app_pos", nargs="?", metavar="APP",
+                         help="application abbreviation (or run id for "
+                              "`check journal`; default: every journal)")
     check_p.add_argument("policy_pos", nargs="?", metavar="POLICY",
                          default="hpe", help="policy (default hpe)")
     check_p.add_argument("rate_pos", nargs="?", metavar="RATE", type=float,
@@ -202,7 +220,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(check_p)
 
     lint_p = sub.add_parser(
-        "lint", help="run the repo-specific AST lint pass (REP001-REP006)"
+        "lint", help="run the repo-specific AST lint pass (REP001-REP007)"
     )
     lint_p.add_argument("paths", nargs="*",
                         help="files/directories (default: the installed "
@@ -213,6 +231,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="strict typing gate (mypy if installed + AST annotation "
              "completeness)",
     )
+
+    resume_p = sub.add_parser(
+        "resume",
+        help="resume an interrupted matrix run from its journal "
+             "(no id: list the runs on disk)",
+    )
+    resume_p.add_argument("run_id", nargs="?", metavar="RUN_ID", default=None,
+                          help="run id printed at interruption "
+                               "(e.g. run-0123abcd4567)")
+    _add_common(resume_p)
 
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     _add_common(all_p)
@@ -236,6 +264,21 @@ def _apply_runtime_flags(args: argparse.Namespace) -> None:
         # A sanitized run must never be served from (or poison) the
         # result cache of unsanitized runs while being debugged.
         sim_cache.configure(enabled=False)
+    if getattr(args, "chaos", None):
+        from repro.resil import chaos as resil_chaos
+
+        resil_chaos.ChaosSpec.parse(args.chaos)  # fail fast on bad specs
+        os.environ[resil_chaos.ENV_CHAOS] = args.chaos
+    timeout = getattr(args, "timeout", None)
+    if timeout is not None:
+        from repro.resil import supervisor as resil_supervisor
+
+        os.environ[resil_supervisor.ENV_TIMEOUT] = str(timeout)
+    retries = getattr(args, "retries", None)
+    if retries is not None:
+        from repro.resil import supervisor as resil_supervisor
+
+        os.environ[resil_supervisor.ENV_RETRIES] = str(retries)
 
 
 def _common_kwargs(args: argparse.Namespace) -> dict:
@@ -308,11 +351,95 @@ def _dump_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _check_journal(args: argparse.Namespace) -> int:
+    """``check journal [RUN_ID]``: validate run-journal invariants."""
+    from repro.resil import journal as resil_journal
+
+    run_ids = [args.app_pos] if args.app_pos else resil_journal.list_runs()
+    if not run_ids:
+        print(f"no run journals under {resil_journal.journal_dir()}")
+        return 0
+    invalid = 0
+    for run_id in run_ids:
+        try:
+            summary = resil_journal.load(run_id)
+        except resil_journal.JournalError as error:
+            print(f"{run_id}: INVALID — {error}")
+            invalid += 1
+            continue
+        if summary is None:
+            print(f"{run_id}: no journal on disk")
+            invalid += 1
+            continue
+        state = ("ended" if summary.ended
+                 else "interrupted" if summary.interrupted else "open")
+        print(f"{run_id}: ok — {len(summary.completed)}/"
+              f"{summary.total_jobs} completed, {len(summary.failed)} "
+              f"failed, {summary.segments} segment(s), {state}")
+    if invalid:
+        print(f"{invalid} invalid journal(s)")
+        return 1
+    return 0
+
+
+def _resume(args: argparse.Namespace) -> int:
+    """``resume [RUN_ID]``: continue an interrupted matrix run."""
+    from repro.experiments.runner import run_matrix
+    from repro.resil import journal as resil_journal
+
+    if args.run_id is None:
+        runs = resil_journal.list_runs()
+        if not runs:
+            print(f"no run journals under {resil_journal.journal_dir()}")
+            return 0
+        for run_id in runs:
+            try:
+                summary = resil_journal.load(run_id)
+            except resil_journal.JournalError as error:
+                print(f"{run_id}: invalid journal ({error})")
+                continue
+            assert summary is not None
+            state = ("ended" if summary.ended
+                     else "interrupted" if summary.interrupted else "open")
+            print(f"{run_id}: {len(summary.completed)}/"
+                  f"{summary.total_jobs} completed, {state}")
+        return 0
+    summary = resil_journal.load(args.run_id)
+    if summary is None:
+        print(f"no journal for {args.run_id!r} under "
+              f"{resil_journal.journal_dir()}", file=sys.stderr)
+        return 1
+    spec = summary.spec
+    if spec.get("custom_config"):
+        print("this run used a custom GPU/HPE configuration, which the "
+              "journal cannot reconstruct — re-run the original command; "
+              "the result cache still serves its completed jobs",
+              file=sys.stderr)
+        return 1
+    print(f"resuming {args.run_id}: {len(summary.completed)}/"
+          f"{summary.total_jobs} job(s) already completed", file=sys.stderr)
+    matrix = run_matrix(
+        spec["policies"], rates=spec["rates"], apps=spec["apps"],
+        seed=spec["seed"], scale=spec["scale"], progress=True,
+    )
+    print(f"run {matrix.run_id}: {len(matrix.results)} cell(s) complete, "
+          f"{len(matrix.failures)} failed")
+    for line in matrix.failure_lines():
+        print(f"  FAILED {line}")
+    return 1 if matrix.degraded else 0
+
+
 def _run_check(args: argparse.Namespace) -> int:
-    """``check {invariants,determinism} APP [POLICY] [RATE]``."""
+    """``check {invariants,determinism,journal} APP [POLICY] [RATE]``."""
     from repro import check as check_module
     from repro.check import InvariantViolation
 
+    if args.mode == "journal":
+        return _check_journal(args)
+    if args.app_pos is None:
+        print("check: APP is required for invariants/determinism",
+              file=sys.stderr)
+        return 2
     app = args.app_pos.upper()
     policy = args.policy_pos
     rate = args.rate_pos
@@ -354,7 +481,30 @@ def _run_check(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    _apply_runtime_flags(args)
+    from repro.resil import EXIT_INTERRUPTED, ChaosSpecError, MatrixInterrupted
+
+    try:
+        _apply_runtime_flags(args)
+    except ChaosSpecError as error:
+        parser.error(str(error))
+    try:
+        return _dispatch(parser, args)
+    except MatrixInterrupted as interrupted:
+        # Clean shutdown already happened inside run_matrix (pool
+        # terminated, journal flushed); tell the user how to pick up.
+        print(f"\ninterrupted: {interrupted}", file=sys.stderr)
+        print(f"resume with: hpe-repro resume {interrupted.run_id}",
+              file=sys.stderr)
+        return EXIT_INTERRUPTED
+    except KeyboardInterrupt:
+        print("\ninterrupted", file=sys.stderr)
+        return EXIT_INTERRUPTED
+
+
+def _dispatch(parser: argparse.ArgumentParser,
+              args: argparse.Namespace) -> int:
+    if args.command == "resume":
+        return _resume(args)
 
     if args.command == "cache":
         if args.action == "clear":

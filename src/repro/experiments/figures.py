@@ -56,6 +56,17 @@ def _apps(apps: Optional[Sequence[str]]) -> list[str]:
     return list(apps) if apps is not None else list(APPLICATION_ORDER)
 
 
+def _degraded_notes(matrix: ResultMatrix) -> list[str]:
+    """Flag every failed cell so a degraded figure is never mistaken
+    for a complete one (ratios touching those cells render as NaN)."""
+    if not matrix.degraded:
+        return []
+    return [
+        f"DEGRADED: {len(matrix.failures)} cell(s) failed after retries; "
+        "affected ratios are NaN and excluded from means"
+    ] + [f"DEGRADED: {line}" for line in matrix.failure_lines()]
+
+
 def _pattern(app: str) -> str:
     return APPLICATIONS[app].pattern_type.roman
 
@@ -108,7 +119,8 @@ def figure3(
         "Fig.3", "Evictions of LRU and RRIP normalised to Ideal (75% OS)",
         ["app", "type", "LRU/Ideal", "RRIP/Ideal"], rows,
         ["paper shape: RRIP thrashes on SRD/HSD; LRU fine for type I "
-         "(except GEM) and type VI; both poor for BFS/HIS/SPV"],
+         "(except GEM) and type VI; both poor for BFS/HIS/SPV"]
+        + _degraded_notes(matrix),
     )
 
 
@@ -275,7 +287,8 @@ def figure10(
     return FigureResult(
         "Fig.10", "HPE speedup over LRU (IPC ratio)",
         ["app", "type"] + [f"{r:.0%}" for r in rates], rows,
-        ["paper: mean 1.34x @75%, 1.16x @50%, max 2.81x (HSD)"],
+        ["paper: mean 1.34x @75%, 1.16x @50%, max 2.81x (HSD)"]
+        + _degraded_notes(matrix),
     )
 
 
@@ -303,7 +316,8 @@ def figure11(
     return FigureResult(
         "Fig.11", "HPE evictions normalised to LRU",
         ["app", "type"] + [f"{r:.0%}" for r in rates], rows,
-        ["paper: HPE evicts 18% fewer pages @75%, 12% fewer @50%"],
+        ["paper: HPE evicts 18% fewer pages @75%, 12% fewer @50%"]
+        + _degraded_notes(matrix),
     )
 
 
@@ -346,7 +360,8 @@ def figure12(
         ["rate", "policy", "IPC/Ideal", "evictions/Ideal"], rows,
         ["paper @75%: HPE within 11% of Ideal IPC, 18% more evictions; "
          "1.16x/1.27x/1.2x over random/RRIP/CLOCK-Pro",
-         "per-app data available via run_matrix for deeper analysis"],
+         "per-app data available via run_matrix for deeper analysis"]
+        + _degraded_notes(matrix),
     )
 
 

@@ -10,17 +10,33 @@ capacity with the paper's fixed ``m_c = 128``.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import os
+import signal
 import sys
+import threading
+import time
 import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Iterable, Optional, Sequence
+from typing import Iterable, Optional, Sequence, Union
 
 from repro.core.hpe import HPEConfig, HPEPolicy
 from repro import obs as obs_module
+from repro import resil as resil_module
 from repro.obs import MetricsRegistry, Observation
+from repro.resil import (
+    ChaosSpec,
+    JobFailure,
+    MatrixInterrupted,
+    RunJournal,
+    SupervisorInterrupted,
+    WorkerSupervisor,
+)
+from repro.resil import chaos as resil_chaos
+from repro.resil import journal as resil_journal
+from repro.resil import supervisor as resil_supervisor
 from repro.sim import cache as sim_cache
 from repro.policies import (
     ARCPolicy,
@@ -219,7 +235,15 @@ def run_application(
 
 @dataclass
 class ResultMatrix:
-    """Results keyed by (app, policy, rate) with derived-metric helpers."""
+    """Results keyed by (app, policy, rate) with derived-metric helpers.
+
+    A matrix can be *degraded*: cells whose retries were exhausted carry
+    an explicit :class:`~repro.resil.JobFailure` in :attr:`failures`
+    instead of a result.  Derived-metric helpers (:meth:`speedup`,
+    :meth:`eviction_ratio`) return ``nan`` for any ratio touching a
+    failed cell — the downstream means already skip NaN with a warning —
+    so tables and figures render with flagged holes instead of raising.
+    """
 
     results: dict[RunKey, SimulationResult] = field(default_factory=dict)
     #: Union of the per-run metric registries (observed runs only).
@@ -227,31 +251,68 @@ class ResultMatrix:
     #: ``extras["metrics"]``; :meth:`put` folds them back here, so the
     #: parent process sees one merged registry for the whole matrix.
     metrics: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Cells whose retries were exhausted (explicit, never raising).
+    failures: dict[RunKey, JobFailure] = field(default_factory=dict)
+    #: The run id whose journal recorded this matrix (when journaled).
+    run_id: str = ""
+    #: Every key in fold order (results and failures interleaved).
+    _order: list[RunKey] = field(default_factory=list)
 
     def put(self, key: RunKey, result: SimulationResult) -> None:
+        if key not in self.results and key not in self.failures:
+            self._order.append(key)
+        self.failures.pop(key, None)
         self.results[key] = result
         run_metrics = result.extras.get("metrics")
         if run_metrics:
             self.metrics.merge(MetricsRegistry.from_dict(run_metrics))
 
+    def record_failure(self, key: RunKey, failure: JobFailure) -> None:
+        """Mark one cell as exhausted — the matrix degrades, not raises."""
+        if key not in self.results and key not in self.failures:
+            self._order.append(key)
+        self.failures[key] = failure
+
+    @property
+    def degraded(self) -> bool:
+        """Does any cell carry a failure instead of a result?"""
+        return bool(self.failures)
+
+    def failure_lines(self) -> list[str]:
+        """One human-readable line per failed cell, in fold order."""
+        return [
+            self.failures[key].render()
+            for key in self._order
+            if key in self.failures
+        ]
+
     def get(self, app: str, policy: str, rate: float) -> SimulationResult:
         return self.results[RunKey(app.upper(), policy, rate)]
 
+    def _lookup(
+        self, app: str, policy: str, rate: float
+    ) -> Optional[SimulationResult]:
+        return self.results.get(RunKey(app.upper(), policy, rate))
+
     def speedup(self, app: str, policy: str, baseline: str, rate: float) -> float:
-        """IPC of ``policy`` over ``baseline`` for one app and rate."""
-        return self.get(app, policy, rate).speedup_over(
-            self.get(app, baseline, rate)
-        )
+        """IPC of ``policy`` over ``baseline`` (``nan`` on a failed cell)."""
+        cell = self._lookup(app, policy, rate)
+        base = self._lookup(app, baseline, rate)
+        if cell is None or base is None:
+            return float("nan")
+        return cell.speedup_over(base)
 
     def eviction_ratio(self, app: str, policy: str, baseline: str, rate: float) -> float:
-        """Evictions of ``policy`` relative to ``baseline``."""
-        return self.get(app, policy, rate).evictions_normalized_to(
-            self.get(app, baseline, rate)
-        )
+        """Evictions relative to ``baseline`` (``nan`` on a failed cell)."""
+        cell = self._lookup(app, policy, rate)
+        base = self._lookup(app, baseline, rate)
+        if cell is None or base is None:
+            return float("nan")
+        return cell.evictions_normalized_to(base)
 
     def apps(self) -> list[str]:
         seen: list[str] = []
-        for key in self.results:
+        for key in self._order if self._order else self.results:
             if key.app not in seen:
                 seen.append(key.app)
         return seen
@@ -293,6 +354,56 @@ def _run_job(job: tuple) -> SimulationResult:
     )
 
 
+def matrix_run_id(
+    policies: Sequence[str],
+    rates: Sequence[float],
+    apps: Sequence[str],
+    *,
+    seed: int,
+    scale: float,
+    config: Optional[GPUConfig] = None,
+    hpe_config: Optional[HPEConfig] = None,
+) -> tuple[str, str]:
+    """Deterministic (run id, full spec hash) for one matrix spec.
+
+    The id is a pure function of the spec, so re-invoking the same
+    matrix — by hand or via ``hpe-repro resume`` — lands on the same
+    journal and picks up where the interrupted run stopped.
+    """
+    canonical = "|".join([
+        f"journal-schema={resil_journal.JOURNAL_SCHEMA_VERSION}",
+        f"cache-schema={sim_cache.CACHE_SCHEMA_VERSION}",
+        f"policies={','.join(p.lower() for p in policies)}",
+        f"rates={','.join(repr(r) for r in rates)}",
+        f"apps={','.join(a.upper() for a in apps)}",
+        f"seed={seed}",
+        f"scale={scale!r}",
+        f"config={sim_cache._stable_config_repr(config)}",
+        f"hpe={sim_cache._stable_config_repr(hpe_config)}",
+    ])
+    spec_hash = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return f"run-{spec_hash[:12]}", spec_hash
+
+
+class _MatrixSigTerm(BaseException):
+    """Internal: SIGTERM converted to an exception for clean shutdown."""
+
+
+def _chaos_serial_raise(action: str, key: str, attempt: int) -> None:
+    """Serial-mode chaos: raise the stand-in exception for ``action``."""
+    if action == "crash":
+        raise resil_chaos.ChaosCrashError(
+            f"injected crash for {key} (attempt {attempt})"
+        )
+    if action == "hang":
+        raise resil_chaos.ChaosHangError(
+            f"injected hang for {key} (attempt {attempt})"
+        )
+    raise resil_chaos.ChaosTransientError(
+        f"injected transient failure for {key} (attempt {attempt})"
+    )
+
+
 def run_matrix(
     policies: Sequence[str],
     rates: Sequence[float] = PAPER_RATES,
@@ -304,16 +415,40 @@ def run_matrix(
     hpe_config: Optional[HPEConfig] = None,
     progress: bool = False,
     jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    chaos: Optional[Union[ChaosSpec, str]] = None,
+    journal: Optional[bool] = None,
 ) -> ResultMatrix:
     """Run the cartesian product and collect a :class:`ResultMatrix`.
 
     With ``jobs > 1`` the (rate × app × policy) runs fan out over a
-    ``multiprocessing`` pool; results are collected in the same
-    deterministic order the serial path produces and each worker builds
-    traces locally (traces are never pickled across the boundary).
-    ``jobs=None`` reads ``REPRO_JOBS``; ``jobs=1`` is plain serial
-    execution in this process.  Progress lines go to stderr so piped
-    harness output is never corrupted.
+    supervised worker pool (:class:`~repro.resil.WorkerSupervisor`):
+    each job gets a wall-clock ``timeout`` and up to ``retries`` extra
+    attempts with exponential backoff, a crashed or hung worker costs
+    one retry (never the matrix), and results are folded in the same
+    deterministic order the serial path produces.  Workers build traces
+    locally (traces are never pickled across the boundary).  ``jobs=1``
+    runs serially in this process with the same retry discipline.
+
+    When the persistent cache is on (and the run is not observed), every
+    completion is recorded in an append-only run journal keyed by the
+    cache digest; an interrupted run — ``KeyboardInterrupt``, SIGTERM,
+    or an injected chaos interrupt — shuts down cleanly (pool
+    terminated, journal and metrics flushed) and raises
+    :class:`~repro.resil.MatrixInterrupted`; re-running the same spec
+    (or ``hpe-repro resume <run-id>``) picks up from the completed jobs
+    and produces bit-identical results to an uninterrupted run.
+
+    Cells whose retries are exhausted become explicit failure records on
+    the matrix (see :class:`ResultMatrix`) — never an exception.
+
+    ``chaos`` injects deterministic faults for testing (``None`` reads
+    ``REPRO_CHAOS``); see :mod:`repro.resil.chaos` for the grammar.
+
+    Progress lines go to stderr so piped harness output is never
+    corrupted.
     """
     apps = list(apps) if apps is not None else list(APPLICATION_ORDER)
     keys = [
@@ -324,49 +459,336 @@ def run_matrix(
     ]
     matrix = ResultMatrix()
     if not keys:
-        # No work: return the empty matrix before any pool is sized —
-        # ``Pool(processes=0)`` raises on every platform.
+        # No work: return the empty matrix before any pool is sized.
         return matrix
     jobs = resolve_jobs(jobs)
     observing = obs_module.enabled()
+    chaos_spec = resil_chaos.resolve(chaos)
+    caching = sim_cache.cache_enabled() and not observing
+    run_id, spec_hash = matrix_run_id(
+        policies, rates, apps,
+        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
+    )
+    matrix.run_id = run_id
+    journaling = (
+        journal if journal is not None
+        else resil_module.journal_enabled() and caching
+    )
+    digests = {
+        key: sim_cache.fingerprint(
+            key.app, key.policy, key.rate,
+            seed=seed, scale=scale, config=config, hpe_config=hpe_config,
+        )
+        for key in keys
+    }
 
-    def note(key: RunKey) -> None:
+    def note(key: RunKey, suffix: str = "...") -> None:
         if progress:
             print(
-                f"running {key.app} / {key.policy} @ {key.rate:.0%} ...",
+                f"running {key.app} / {key.policy} @ {key.rate:.0%} {suffix}",
                 file=sys.stderr, flush=True,
             )
 
-    if jobs == 1 or len(keys) <= 1:
-        for key in keys:
-            note(key)
-            result = run_application(
-                key.app, key.policy, key.rate,
-                seed=seed, scale=scale,
-                config=config, hpe_config=hpe_config,
+    run_journal: Optional[RunJournal] = None
+    if journaling:
+        run_journal = RunJournal(run_id)
+        run_journal.append(
+            "run_start",
+            schema=resil_journal.JOURNAL_SCHEMA_VERSION,
+            run_id=run_id,
+            spec_hash=spec_hash,
+            policies=[p.lower() for p in policies],
+            rates=list(rates),
+            apps=[a.upper() for a in apps],
+            seed=seed,
+            scale=scale,
+            total_jobs=len(keys),
+            custom_config=config is not None or hpe_config is not None,
+        )
+
+    # Terminal-outcome tallies, updated as outcomes land (the matrix
+    # itself is only folded after a supervised run finishes, so it
+    # undercounts at interrupt time).
+    counts = {"done": 0, "failed": 0}
+
+    def journal_done(key: RunKey, attempts: int, elapsed: float) -> None:
+        counts["done"] += 1
+        if run_journal is not None:
+            run_journal.append(
+                "job_done",
+                app=key.app, policy=key.policy, rate=key.rate,
+                digest=digests[key], cached=caching,
+                attempts=attempts, elapsed=round(elapsed, 6),
             )
-            matrix.put(key, result)
+
+    def journal_failed(key: RunKey, failure: JobFailure) -> None:
+        counts["failed"] += 1
+        if run_journal is not None:
+            run_journal.append(
+                "job_failed",
+                app=key.app, policy=key.policy, rate=key.rate,
+                digest=digests[key], error=failure.error_type,
+                message=failure.message[:500], attempts=failure.attempts,
+                elapsed=round(failure.elapsed, 6),
+            )
+
+    def finalize(interrupted: bool) -> None:
+        """Flush the journal (and its terminal record) exactly once."""
+        if run_journal is None:
+            return
+        if interrupted:
+            run_journal.append(
+                "run_interrupted",
+                completed=counts["done"],
+                remaining=len(keys) - counts["done"] - counts["failed"],
+            )
+        else:
+            run_journal.append(
+                "run_end",
+                completed=counts["done"], failed=counts["failed"],
+            )
+        run_journal.close()
+
+    # Resume/warm path: serve any already-cached cell without touching
+    # the pool.  This is what makes an interrupted run resumable — the
+    # journal records completions by cache digest, and the cache serves
+    # them bit-identically on the next invocation of the same spec.
+    remaining: list[RunKey] = []
+    for key in keys:
+        cached_result = (
+            sim_cache.result_cache().get(digests[key]) if caching else None
+        )
+        if cached_result is not None:
+            note(key, "(cached)")
+            matrix.put(key, cached_result)
+            journal_done(key, attempts=0, elapsed=0.0)
+        else:
+            remaining.append(key)
+    if not remaining:
+        finalize(interrupted=False)
         return matrix
 
-    import multiprocessing as mp
+    def install_sigterm() -> Optional[object]:
+        def handler(_signum: int, _frame: object) -> None:
+            raise _MatrixSigTerm()
+        if threading.current_thread() is not threading.main_thread():
+            return None
+        try:
+            return signal.signal(signal.SIGTERM, handler)
+        except (ValueError, OSError):
+            return None
 
-    # Prefer fork (cheap, shares the imported modules); fall back to the
-    # platform default where fork is unavailable.
-    methods = mp.get_all_start_methods()
-    ctx = mp.get_context("fork" if "fork" in methods else None)
+    def restore_sigterm(previous: Optional[object]) -> None:
+        if previous is not None:
+            try:
+                signal.signal(signal.SIGTERM, previous)
+            except (ValueError, OSError, TypeError):
+                pass
+
+    previous_handler = install_sigterm()
+    try:
+        if jobs == 1 or len(remaining) <= 1:
+            _run_serial(
+                matrix, remaining,
+                seed=seed, scale=scale, config=config,
+                hpe_config=hpe_config, chaos_spec=chaos_spec,
+                retries=resil_supervisor.resolve_retries(retries),
+                backoff=resil_supervisor.resolve_backoff(backoff),
+                note=note, journal_done=journal_done,
+                journal_failed=journal_failed,
+            )
+        else:
+            _run_supervised(
+                matrix, remaining,
+                seed=seed, scale=scale, config=config,
+                hpe_config=hpe_config, observing=observing,
+                jobs=jobs, timeout=timeout, retries=retries,
+                backoff=backoff, chaos_spec=chaos_spec,
+                note=note, journal_done=journal_done,
+                journal_failed=journal_failed,
+            )
+    except (KeyboardInterrupt, SupervisorInterrupted, _MatrixSigTerm) as exc:
+        # Clean shutdown: the pool is already terminated (supervisor
+        # shuts down in its finally), the journal gets its interruption
+        # record and fsync, and the caller gets a typed, resumable error.
+        finalize(interrupted=True)
+        done = counts["done"] + counts["failed"]
+        raise MatrixInterrupted(run_id, done, len(keys) - done) from exc
+    finally:
+        restore_sigterm(previous_handler)
+
+    _fold_resil_metrics(matrix)
+    finalize(interrupted=False)
+    return matrix
+
+
+def _run_serial(
+    matrix: ResultMatrix,
+    keys: Sequence[RunKey],
+    *,
+    seed: int,
+    scale: float,
+    config: Optional[GPUConfig],
+    hpe_config: Optional[HPEConfig],
+    chaos_spec: Optional[ChaosSpec],
+    retries: int,
+    backoff: float,
+    note,
+    journal_done,
+    journal_failed,
+) -> None:
+    """Serial execution with the same retry/chaos discipline as the pool.
+
+    Chaos crash/hang actions degrade to in-process exceptions
+    (:class:`~repro.resil.ChaosCrashError` / ``ChaosHangError``) so
+    every failure mode stays testable without subprocesses.
+    """
+    previous_spec = resil_chaos.active_spec()
+    if chaos_spec is not None:
+        resil_chaos.activate(chaos_spec)
+    completions = 0
+    total_retries = 0
+    try:
+        for key in keys:
+            note(key)
+            job_key = f"{key.app}|{key.policy}|{key.rate!r}"
+            started = time.monotonic()
+            attempt = 1
+            while True:
+                try:
+                    if chaos_spec is not None:
+                        action = chaos_spec.worker_action(job_key, attempt)
+                        if action is not None:
+                            _chaos_serial_raise(action, job_key, attempt)
+                    result = run_application(
+                        key.app, key.policy, key.rate,
+                        seed=seed, scale=scale,
+                        config=config, hpe_config=hpe_config,
+                    )
+                except Exception as exc:  # noqa: BLE001 — degraded, not hidden
+                    if attempt <= retries:
+                        total_retries += 1
+                        delay = resil_supervisor.backoff_delay(
+                            backoff, job_key, attempt
+                        )
+                        attempt += 1
+                        if delay:
+                            time.sleep(min(delay, 5.0))
+                        continue
+                    elapsed = time.monotonic() - started
+                    failure = JobFailure(
+                        key=job_key,
+                        error_type=type(exc).__name__,
+                        message=str(exc),
+                        attempts=attempt,
+                        elapsed=elapsed,
+                    )
+                    matrix.record_failure(key, failure)
+                    journal_failed(key, failure)
+                    break
+                else:
+                    matrix.put(key, result)
+                    journal_done(
+                        key, attempts=attempt,
+                        elapsed=time.monotonic() - started,
+                    )
+                    break
+            completions += 1
+            if chaos_spec is not None and chaos_spec.should_interrupt(
+                completions
+            ):
+                raise SupervisorInterrupted(
+                    f"chaos sigterm after {completions} completion(s)"
+                )
+    finally:
+        if total_retries:
+            matrix.metrics.set_gauge("resil.retries", total_retries)
+        if chaos_spec is not None:
+            resil_chaos.activate(previous_spec)
+
+
+def _run_supervised(
+    matrix: ResultMatrix,
+    keys: Sequence[RunKey],
+    *,
+    seed: int,
+    scale: float,
+    config: Optional[GPUConfig],
+    hpe_config: Optional[HPEConfig],
+    observing: bool,
+    jobs: int,
+    timeout: Optional[float],
+    retries: Optional[int],
+    backoff: Optional[float],
+    chaos_spec: Optional[ChaosSpec],
+    note,
+    journal_done,
+    journal_failed,
+) -> None:
+    """Fan ``keys`` out over a supervised worker pool and fold results.
+
+    Outcomes are journaled as they land (so an interrupt loses nothing)
+    but folded into the matrix in deterministic key order, keeping the
+    parallel path bit-identical to the serial one.
+    """
     # The observe flag travels in the payload: a spawn-context worker
     # re-imports the world and loses any configure(enabled=True) made by
     # the CLI in this process.
-    payloads = [
-        (key.app, key.policy, key.rate, seed, scale, config, hpe_config,
-         observing)
+    job_keys = {key: f"{key.app}|{key.policy}|{key.rate!r}" for key in keys}
+    by_job_key = {job_keys[key]: key for key in keys}
+    items = [
+        (
+            job_keys[key],
+            (key.app, key.policy, key.rate, seed, scale, config,
+             hpe_config, observing),
+        )
         for key in keys
     ]
-    with ctx.Pool(processes=min(jobs, len(keys))) as pool:
-        for key, result in zip(keys, pool.imap(_run_job, payloads)):
-            note(key)
-            matrix.put(key, result)
-    return matrix
+    supervisor = WorkerSupervisor(
+        _run_job, min(jobs, len(keys)),
+        timeout=timeout, retries=retries, backoff=backoff, chaos=chaos_spec,
+    )
+
+    def on_outcome(outcome) -> None:
+        key = by_job_key[outcome.key]
+        if outcome.ok:
+            journal_done(key, attempts=outcome.attempts,
+                         elapsed=outcome.elapsed)
+        else:
+            journal_failed(key, outcome.failure)
+
+    outcomes = supervisor.run(items, on_outcome=on_outcome)
+    # Gauges only when there is something to report: a clean, unobserved
+    # matrix keeps its metrics registry empty (the obs contract).
+    stat_gauges = {
+        "resil.retries": supervisor.stats.retries,
+        "resil.crashes": supervisor.stats.crashes,
+        "resil.timeouts": supervisor.stats.timeouts,
+        "resil.transient_errors": supervisor.stats.transient_errors,
+    }
+    for name, value in stat_gauges.items():
+        if value:
+            matrix.metrics.set_gauge(name, value)
+    for key in keys:
+        outcome = outcomes.get(job_keys[key])
+        if outcome is None:
+            continue
+        note(key)
+        if outcome.ok:
+            matrix.put(key, outcome.result)
+        else:
+            matrix.record_failure(key, outcome.failure)
+
+
+def _fold_resil_metrics(matrix: ResultMatrix) -> None:
+    """Degradation counters every consumer can read off the matrix.
+
+    Only emitted for a degraded matrix — a clean, unobserved run keeps
+    its metrics registry empty (the obs contract).
+    """
+    if matrix.failures:
+        matrix.metrics.set_gauge("resil.degraded_cells", len(matrix.failures))
+        matrix.metrics.set_gauge("resil.completed_cells", len(matrix.results))
 
 
 def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:

@@ -1,0 +1,349 @@
+"""Checkpoint/resume run journal — an append-only, fsync'd JSONL manifest.
+
+One matrix run writes one journal under ``<cache-dir>/runs/<run-id>.jsonl``
+recording every job's completion (keyed by the persistent result-cache
+digest) and every retry-exhausted failure.  An interrupted run — SIGTERM,
+crash, power loss — resumes by replaying the journal: completed digests
+are served straight from the result cache, the rest re-run, and the final
+matrix is bit-identical to an uninterrupted run (the resume-equivalence
+tests assert this on metric digests).
+
+Schema
+------
+Versioned like the :mod:`repro.obs.events` traces: every record carries
+``type`` and a monotonic ``seq`` (continuing across append sessions), and
+the per-type required fields of :data:`JOURNAL_SCHEMA`.  A journal may
+contain several *segments* (one ``run_start`` each — the original run
+plus each resume); readers take the union of completions.
+
+Durability: each record is written with ``flush`` + ``os.fsync`` before
+:meth:`RunJournal.append` returns, so a record observed by a reader is
+complete and a crash can lose at most the record being written — which,
+being JSONL, is detected as a torn trailing line and ignored with a
+warning by :func:`read_journal`.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import warnings
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import IO, Optional, Union
+
+#: Bump when the journal's observable structure changes.
+JOURNAL_SCHEMA_VERSION = 1
+
+_NoneType = type(None)
+
+#: Per-type required fields (beyond ``type`` and ``seq``) and accepted
+#: Python types after a JSON round-trip.
+JOURNAL_SCHEMA: dict[str, dict[str, tuple]] = {
+    # Segment bracket: identifies the run and stamps the schema version.
+    "run_start": {
+        "schema": (int,),
+        "run_id": (str,),
+        "spec_hash": (str,),
+        "policies": (list,),
+        "rates": (list,),
+        "apps": (list,),
+        "seed": (int,),
+        "scale": (int, float),
+        "total_jobs": (int,),
+        "custom_config": (bool,),
+    },
+    # One per job that produced a result (simulated or cache hit).
+    "job_done": {
+        "app": (str,),
+        "policy": (str,),
+        "rate": (int, float),
+        "digest": (str,),
+        "cached": (bool,),
+        "attempts": (int,),
+        "elapsed": (int, float),
+    },
+    # One per job whose retries were exhausted.
+    "job_failed": {
+        "app": (str,),
+        "policy": (str,),
+        "rate": (int, float),
+        "digest": (str,),
+        "error": (str,),
+        "message": (str,),
+        "attempts": (int,),
+        "elapsed": (int, float),
+    },
+    # Clean shutdown after SIGTERM / KeyboardInterrupt.
+    "run_interrupted": {
+        "completed": (int,),
+        "remaining": (int,),
+    },
+    "run_end": {
+        "completed": (int,),
+        "failed": (int,),
+    },
+}
+
+#: The known record types, in schema order.
+RECORD_TYPES = tuple(JOURNAL_SCHEMA)
+
+_SCALARS = (str, int, float, bool, _NoneType)
+
+
+class JournalError(ValueError):
+    """A journal record or file does not conform to the schema."""
+
+
+def validate_record(record: object) -> None:
+    """Raise :class:`JournalError` unless ``record`` is schema-valid."""
+    if not isinstance(record, dict):
+        raise JournalError(
+            f"record must be an object, got {type(record).__name__}"
+        )
+    record_type = record.get("type")
+    if record_type not in JOURNAL_SCHEMA:
+        raise JournalError(f"unknown record type {record_type!r}")
+    seq = record.get("seq")
+    if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
+        raise JournalError(f"{record_type}: 'seq' must be a non-negative int")
+    fields = JOURNAL_SCHEMA[record_type]
+    for name, accepted in fields.items():
+        if name not in record:
+            raise JournalError(f"{record_type}: missing field {name!r}")
+        value = record[name]
+        if isinstance(value, bool) and bool not in accepted:
+            raise JournalError(
+                f"{record_type}: field {name!r} has invalid type bool"
+            )
+        if not isinstance(value, accepted):
+            raise JournalError(
+                f"{record_type}: field {name!r} has invalid type "
+                f"{type(value).__name__}"
+            )
+    for name, value in record.items():
+        if name in ("type", "seq") or name in fields:
+            continue
+        if not isinstance(value, _SCALARS):
+            raise JournalError(
+                f"{record_type}: extra field {name!r} must be a JSON scalar"
+            )
+
+
+def journal_dir() -> Path:
+    """Directory holding run journals (inside the persistent cache dir)."""
+    from repro.sim import cache as sim_cache
+
+    return sim_cache.cache_dir() / "runs"
+
+
+def journal_path(run_id: str) -> Path:
+    """Where the journal for ``run_id`` lives."""
+    return journal_dir() / f"{run_id}.jsonl"
+
+
+class RunJournal:
+    """Append-only, fsync'd JSONL writer for one run id.
+
+    Opening is lazy; the first append creates the file (or continues an
+    existing one, resuming the ``seq`` numbering after its last intact
+    record).
+    """
+
+    def __init__(self, run_id: str, path: Optional[Path] = None) -> None:
+        self.run_id = run_id
+        self.path = Path(path) if path is not None else journal_path(run_id)
+        self._stream: Optional[IO[str]] = None
+        self._seq: Optional[int] = None
+
+    def _open(self) -> IO[str]:
+        if self._stream is None:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            if self._seq is None:
+                existing = read_journal(self.path, missing_ok=True)
+                self._seq = (
+                    existing[-1]["seq"] + 1 if existing else 0
+                )
+            self._stream = self.path.open("a", encoding="utf-8")
+        return self._stream
+
+    def append(self, record_type: str, **fields: object) -> dict:
+        """Validate, append, flush and fsync one record; return it."""
+        stream = self._open()
+        assert self._seq is not None
+        record: dict = {"type": record_type, "seq": self._seq}
+        record.update(fields)
+        validate_record(record)
+        stream.write(
+            json.dumps(record, separators=(",", ":"), allow_nan=False) + "\n"
+        )
+        stream.flush()
+        os.fsync(stream.fileno())
+        self._seq += 1
+        return record
+
+    def close(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+            self._stream = None
+
+    def __enter__(self) -> "RunJournal":
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        self.close()
+
+
+def read_journal(
+    path: Union[str, Path], *, missing_ok: bool = False
+) -> list[dict]:
+    """Every intact record of a journal file, in file order.
+
+    A torn trailing line — the one write a crash can lose — is skipped
+    with a :class:`RuntimeWarning`; a torn line *followed by intact
+    records* is real corruption and raises :class:`JournalError`.
+    """
+    path = Path(path)
+    if not path.is_file():
+        if missing_ok:
+            return []
+        raise JournalError(f"no journal at {path}")
+    records: list[dict] = []
+    torn_at: Optional[int] = None
+    with path.open("r", encoding="utf-8") as stream:
+        for lineno, line in enumerate(stream, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                if torn_at is None:
+                    torn_at = lineno
+                    continue
+                raise JournalError(
+                    f"{path}:{torn_at}: torn record mid-file "
+                    "(corruption, not a crashed tail write)"
+                )
+            if torn_at is not None:
+                raise JournalError(
+                    f"{path}:{torn_at}: torn record mid-file "
+                    "(corruption, not a crashed tail write)"
+                )
+            records.append(record)
+    if torn_at is not None:
+        warnings.warn(
+            f"{path}:{torn_at}: dropping torn trailing record "
+            "(interrupted final write)",
+            RuntimeWarning, stacklevel=2,
+        )
+    return records
+
+
+@dataclass
+class JournalSummary:
+    """Parsed view of one journal: spec, completions, failures, state."""
+
+    run_id: str
+    path: Path
+    #: The most recent ``run_start`` record (the active spec).
+    spec: dict = field(default_factory=dict)
+    #: digest → most recent ``job_done`` record with ``cached=True``
+    #: (only cached completions can be served on resume).
+    completed: dict[str, dict] = field(default_factory=dict)
+    #: digest → most recent ``job_failed`` record.
+    failed: dict[str, dict] = field(default_factory=dict)
+    segments: int = 0
+    interrupted: bool = False
+    ended: bool = False
+
+    @property
+    def total_jobs(self) -> int:
+        return int(self.spec.get("total_jobs", 0))
+
+
+def summarize(path: Union[str, Path], run_id: str = "") -> JournalSummary:
+    """Build a :class:`JournalSummary`, validating every record."""
+    path = Path(path)
+    records = read_journal(path)
+    summary = JournalSummary(run_id=run_id or path.stem, path=path)
+    last_seq = -1
+    for index, record in enumerate(records):
+        try:
+            validate_record(record)
+        except JournalError as error:
+            raise JournalError(f"{path}: record {index}: {error}") from error
+        seq = record["seq"]
+        if seq <= last_seq:
+            raise JournalError(
+                f"{path}: record {index}: seq {seq} not monotonic "
+                f"(previous {last_seq})"
+            )
+        last_seq = seq
+        record_type = record["type"]
+        if index == 0 and record_type != "run_start":
+            raise JournalError(
+                f"{path}: journal must open with run_start, "
+                f"got {record_type}"
+            )
+        if record_type == "run_start":
+            if record["schema"] > JOURNAL_SCHEMA_VERSION:
+                raise JournalError(
+                    f"{path}: journal schema v{record['schema']} is newer "
+                    f"than this build's v{JOURNAL_SCHEMA_VERSION}"
+                )
+            summary.spec = record
+            summary.segments += 1
+            summary.interrupted = False
+            summary.ended = False
+        elif record_type == "job_done":
+            summary.failed.pop(record["digest"], None)
+            if record["cached"]:
+                summary.completed[record["digest"]] = record
+        elif record_type == "job_failed":
+            summary.failed[record["digest"]] = record
+        elif record_type == "run_interrupted":
+            summary.interrupted = True
+        elif record_type == "run_end":
+            summary.ended = True
+    if summary.segments == 0:
+        raise JournalError(f"{path}: journal has no run_start record")
+    return summary
+
+
+def load(run_id: str) -> Optional[JournalSummary]:
+    """Summary for ``run_id`` from the default journal dir, if present."""
+    path = journal_path(run_id)
+    if not path.is_file():
+        return None
+    return summarize(path, run_id)
+
+
+def list_runs() -> list[str]:
+    """Run ids with a journal on disk, most recently modified first."""
+    directory = journal_dir()
+    if not directory.is_dir():
+        return []
+    files = sorted(
+        directory.glob("*.jsonl"),
+        key=lambda p: p.stat().st_mtime,
+        reverse=True,
+    )
+    return [f.stem for f in files]
+
+
+__all__ = [
+    "JOURNAL_SCHEMA",
+    "JOURNAL_SCHEMA_VERSION",
+    "JournalError",
+    "JournalSummary",
+    "RECORD_TYPES",
+    "RunJournal",
+    "journal_dir",
+    "journal_path",
+    "list_runs",
+    "load",
+    "read_journal",
+    "summarize",
+    "validate_record",
+]

@@ -22,9 +22,12 @@ Environment variables
 ``REPRO_CACHE``
     Set to ``0`` / ``off`` / ``false`` / ``no`` to disable caching.
 
-Writes are atomic (temp file + ``os.replace``), so concurrent workers of
-a parallel matrix can share one cache directory without locking; the
-worst case is the same entry being computed twice and one write winning.
+Writes are atomic and durable (temp file + fsync + ``os.replace`` via
+:mod:`repro.resil.atomic`), so concurrent workers of a parallel matrix
+can share one cache directory without locking; the worst case is the
+same entry being computed twice and one write winning.  Result entries
+are checksum-framed: a torn or corrupted entry fails verification on
+read and is treated as a *miss* (recompute heals it), never a crash.
 """
 
 from __future__ import annotations
@@ -33,12 +36,13 @@ import dataclasses
 import hashlib
 import os
 import pickle
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import TYPE_CHECKING, Optional
 
 from repro.core.hpe import HPEConfig
+from repro.resil import atomic as resil_atomic
+from repro.resil import chaos as resil_chaos
 from repro.sim.config import GPUConfig
 from repro.sim.results import SimulationResult
 from repro.workloads.base import Trace
@@ -104,6 +108,9 @@ class CacheStats:
     result_hits: int = 0
     result_misses: int = 0
     result_stores: int = 0
+    #: Entries whose checksum frame failed verification (torn writes);
+    #: every one is also counted as a miss.
+    result_corrupt: int = 0
     trace_hits: int = 0
     trace_misses: int = 0
 
@@ -117,6 +124,7 @@ class CacheStats:
         registry.set_gauge("cache.result_hits", self.result_hits)
         registry.set_gauge("cache.result_misses", self.result_misses)
         registry.set_gauge("cache.result_stores", self.result_stores)
+        registry.set_gauge("cache.result_corrupt", self.result_corrupt)
         registry.set_gauge("cache.trace_hits", self.trace_hits)
         registry.set_gauge("cache.trace_misses", self.trace_misses)
 
@@ -181,24 +189,6 @@ def trace_fingerprint(abbr: str, seed: int, scale: float) -> str:
     return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
 
-def _atomic_write_bytes(path: Path, payload: bytes) -> None:
-    """Write ``payload`` to ``path`` atomically (parallel-writer safe)."""
-    path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(
-        dir=path.parent, prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(fd, "wb") as stream:
-            stream.write(payload)
-        os.replace(tmp_name, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_name)
-        except OSError:
-            pass
-        raise
-
-
 class ResultCache:
     """Disk-backed store of pickled :class:`SimulationResult` objects.
 
@@ -206,6 +196,12 @@ class ResultCache:
     entries so warm harness reruns in one process skip even the disk
     read; entries are always *unpickled per get* so callers never share
     mutable state.
+
+    On-disk entries are checksum-framed (:mod:`repro.resil.atomic`); a
+    frame that fails verification — a torn write from a crashed process,
+    or an injected ``REPRO_CHAOS`` tear — is deleted and counted in
+    ``stats.result_corrupt``, and the get reports a miss.  Pre-framing
+    entries (raw pickles) are still readable.
     """
 
     def __init__(
@@ -227,20 +223,27 @@ class ResultCache:
         payload = self._memory.get(digest)
         if payload is None:
             try:
-                payload = self._path(digest).read_bytes()
+                data = self._path(digest).read_bytes()
             except OSError:
                 self.stats.result_misses += 1
                 return None
+            if resil_atomic.is_framed(data):
+                try:
+                    payload = resil_atomic.unframe_payload(data)
+                except resil_atomic.TornPayloadError:
+                    # Torn write: delete and report a miss, never a crash.
+                    self.stats.result_corrupt += 1
+                    self._drop(digest)
+                    self.stats.result_misses += 1
+                    return None
+            else:
+                payload = data  # pre-framing entry (raw pickle)
             self._remember(digest, payload)
         try:
             result = pickle.loads(payload)
         except Exception:
             # Corrupt or incompatible entry: drop it and treat as a miss.
-            self._memory.pop(digest, None)
-            try:
-                self._path(digest).unlink()
-            except OSError:
-                pass
+            self._drop(digest)
             self.stats.result_misses += 1
             return None
         self.stats.result_hits += 1
@@ -249,9 +252,21 @@ class ResultCache:
     def put(self, digest: str, result: SimulationResult) -> None:
         """Store ``result`` under ``digest`` (atomic, last writer wins)."""
         payload = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
-        _atomic_write_bytes(self._path(digest), payload)
-        self._remember(digest, payload)
+        framed = resil_atomic.frame_payload(payload)
+        written = resil_chaos.maybe_corrupt(digest, framed)
+        resil_atomic.atomic_write_bytes(self._path(digest), written)
+        if written is framed:
+            # A chaos-torn write models a crashed process, whose memory
+            # is gone too — only intact writes enter the memory layer.
+            self._remember(digest, payload)
         self.stats.result_stores += 1
+
+    def _drop(self, digest: str) -> None:
+        self._memory.pop(digest, None)
+        try:
+            self._path(digest).unlink()
+        except OSError:
+            pass
 
     def _remember(self, digest: str, payload: bytes) -> None:
         self._memory[digest] = payload
@@ -351,7 +366,7 @@ def load_or_build_trace(abbr: str, seed: int, scale: float) -> Trace:
             # The tmp name must keep the .gz suffix so save_trace compresses.
             tmp = path.parent / f".{path.stem}.{os.getpid()}.tmp.gz"
             save_trace(trace, tmp)
-            os.replace(tmp, path)
+            resil_atomic.replace_into(tmp, path)
         except OSError:
             pass
     return trace

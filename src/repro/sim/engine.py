@@ -24,6 +24,7 @@ lose exactly through the evictions they cause.
 from __future__ import annotations
 
 import os
+import time
 from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro import check as check_module
@@ -124,11 +125,17 @@ class UVMSimulator:
                 capacity_pages=self.capacity_pages,
                 trace_length=len(trace),
             )
+        started = time.monotonic()
         if fast:
             cycles = self._replay_fast(trace)
         else:
             cycles = self._replay_reference(trace)
-        return self._collect(trace, workload_name, cycles)
+        result = self._collect(trace, workload_name, cycles)
+        # Wall-clock spent replaying, for supervisor/journal accounting.
+        # Lives in ``extras`` — key_metrics() stays wall-clock-free so
+        # determinism digests are unaffected.
+        result.extras["elapsed_s"] = time.monotonic() - started
+        return result
 
     def _replay_reference(self, trace: Sequence[int]) -> int:
         """The unflattened event loop (kept as the behavioural oracle)."""

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import asdict, dataclass, field
 from typing import Optional
 
@@ -71,6 +73,19 @@ class SimulationResult:
             "l2_tlb_hits": self.l2_tlb_hits,
             "walker_hits": self.walker_hits,
         }
+
+    def metrics_digest(self) -> str:
+        """SHA-256 of the canonical JSON form of :meth:`key_metrics`.
+
+        A compact equality token: two runs are bit-identical (in every
+        measured metric) iff their digests match.  The resume-equivalence
+        tests compare interrupted-then-resumed matrices to uninterrupted
+        ones digest-by-digest.
+        """
+        canonical = json.dumps(
+            self.key_metrics(), sort_keys=True, separators=(",", ":")
+        )
+        return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
 
     def speedup_over(self, baseline: "SimulationResult") -> float:
         """IPC speedup of this run relative to ``baseline``.

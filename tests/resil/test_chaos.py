@@ -1,0 +1,164 @@
+"""Deterministic fault-injection harness (`repro.resil.chaos`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resil.chaos import (
+    ChaosSpec,
+    ChaosSpecError,
+    activate,
+    active_spec,
+    deactivate,
+    from_env,
+    maybe_corrupt,
+    resolve,
+)
+
+
+@pytest.fixture(autouse=True)
+def _no_process_chaos():
+    deactivate()
+    yield
+    deactivate()
+
+
+class TestParse:
+    def test_full_spec(self):
+        spec = ChaosSpec.parse("seed=42,crash=0.2,hang=0.1,flaky=0.3,torn=0.5,sigterm=4")
+        assert spec.seed == 42
+        assert spec.crash == pytest.approx(0.2)
+        assert spec.hang == pytest.approx(0.1)
+        assert spec.flaky == pytest.approx(0.3)
+        assert spec.torn == pytest.approx(0.5)
+        assert spec.sigterm == 4
+
+    def test_colon_separator(self):
+        # ``kind:value`` is accepted alongside ``kind=value``.
+        spec = ChaosSpec.parse("flaky:0.5,seed:7")
+        assert spec.flaky == pytest.approx(0.5)
+        assert spec.seed == 7
+
+    def test_whitespace_tolerated(self):
+        spec = ChaosSpec.parse(" flaky=0.5 , seed=7 ")
+        assert spec.flaky == pytest.approx(0.5)
+        assert spec.seed == 7
+
+    def test_empty_spec_inactive(self):
+        assert not ChaosSpec.parse("").active()
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("explode=1.0")
+
+    def test_malformed_pair_rejected(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("flaky")
+
+    def test_probability_out_of_range(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("crash=1.5")
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("crash=-0.1")
+
+    def test_non_numeric_rejected(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("flaky=lots")
+
+    def test_negative_sigterm_rejected(self):
+        with pytest.raises(ChaosSpecError):
+            ChaosSpec.parse("sigterm=-1")
+
+
+class TestActions:
+    def test_worker_action_deterministic(self):
+        spec = ChaosSpec.parse("seed=42,crash=0.5")
+        first = [spec.worker_action(f"job-{i}", 1) for i in range(32)]
+        second = [spec.worker_action(f"job-{i}", 1) for i in range(32)]
+        assert first == second
+
+    def test_worker_action_varies_by_attempt(self):
+        spec = ChaosSpec.parse("seed=42,flaky=0.5")
+        actions = {spec.worker_action("job", attempt) for attempt in range(1, 64)}
+        assert actions == {None, "flaky"}
+
+    def test_seed_changes_rolls(self):
+        a = ChaosSpec.parse("seed=1,crash=0.5")
+        b = ChaosSpec.parse("seed=2,crash=0.5")
+        rolls_a = [a.worker_action(f"j{i}", 1) for i in range(64)]
+        rolls_b = [b.worker_action(f"j{i}", 1) for i in range(64)]
+        assert rolls_a != rolls_b
+
+    def test_certain_probabilities(self):
+        assert ChaosSpec.parse("crash=1.0").worker_action("k", 1) == "crash"
+        assert ChaosSpec.parse("hang=1.0").worker_action("k", 1) == "hang"
+        assert ChaosSpec.parse("flaky=1.0").worker_action("k", 1) == "flaky"
+        assert ChaosSpec.parse("seed=3").worker_action("k", 1) is None
+
+    def test_precedence_crash_over_rest(self):
+        spec = ChaosSpec.parse("crash=1.0,hang=1.0,flaky=1.0")
+        assert spec.worker_action("k", 1) == "crash"
+
+    def test_should_interrupt(self):
+        spec = ChaosSpec.parse("sigterm=2")
+        assert not spec.should_interrupt(0)
+        assert not spec.should_interrupt(1)
+        assert spec.should_interrupt(2)
+        assert spec.should_interrupt(3)
+        assert not ChaosSpec.parse("flaky=0.5").should_interrupt(100)
+
+
+class TestTorn:
+    def test_maybe_corrupt_inactive_is_identity(self):
+        framed = b"framed-bytes" * 8
+        assert maybe_corrupt("digest", framed) is framed
+
+    def test_maybe_corrupt_tears_once_per_digest(self):
+        activate(ChaosSpec.parse("torn=1.0,seed=5"))
+        framed = b"framed-bytes" * 8
+        torn = maybe_corrupt("digest-a", framed)
+        assert torn != framed
+        assert len(torn) < len(framed)
+        # Second write of the same digest goes through intact — the
+        # retry after a detected torn entry must be able to succeed.
+        assert maybe_corrupt("digest-a", framed) is framed
+
+    def test_torn_probability_zero_never_tears(self):
+        activate(ChaosSpec.parse("torn=0.0,flaky=0.5,seed=5"))
+        framed = b"framed-bytes" * 8
+        assert maybe_corrupt("digest-b", framed) is framed
+
+
+class TestActivation:
+    def test_activate_deactivate(self):
+        assert active_spec() is None
+        spec = ChaosSpec.parse("flaky=0.5")
+        activate(spec)
+        assert active_spec() == spec
+        deactivate()
+        assert active_spec() is None
+
+    def test_inactive_spec_injects_nothing(self):
+        spec = ChaosSpec.parse("")
+        assert not spec.active()
+        activate(spec)
+        assert spec.worker_action("k", 1) is None
+        framed = b"framed-bytes" * 8
+        assert maybe_corrupt("digest-c", framed) is framed
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert from_env() is None
+        monkeypatch.setenv("REPRO_CHAOS", "flaky=0.25,seed=9")
+        spec = from_env()
+        assert spec is not None and spec.flaky == pytest.approx(0.25)
+
+    def test_resolve(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert resolve(None) is None
+        assert resolve("flaky=0.5").flaky == pytest.approx(0.5)
+        assert resolve("") is None
+        monkeypatch.setenv("REPRO_CHAOS", "crash=0.5,seed=1")
+        assert resolve(None).crash == pytest.approx(0.5)
+        spec = ChaosSpec.parse("hang=0.5")
+        assert resolve(spec) is spec

@@ -1,0 +1,251 @@
+"""Checkpoint/resume journal (`repro.resil.journal`)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.resil.journal import (
+    JOURNAL_SCHEMA_VERSION,
+    JournalError,
+    RunJournal,
+    journal_dir,
+    journal_path,
+    list_runs,
+    load,
+    read_journal,
+    summarize,
+    validate_record,
+)
+
+
+def _start_fields(**overrides):
+    fields = dict(
+        schema=JOURNAL_SCHEMA_VERSION,
+        run_id="run-test",
+        spec_hash="abc123",
+        policies=["lru"],
+        rates=[50],
+        apps=["STN"],
+        seed=42,
+        scale=0.25,
+        total_jobs=1,
+        custom_config=False,
+    )
+    fields.update(overrides)
+    return fields
+
+
+def _done_fields(digest="d1", cached=True, **overrides):
+    fields = dict(
+        app="STN",
+        policy="lru",
+        rate=50,
+        digest=digest,
+        cached=cached,
+        attempts=1,
+        elapsed=0.1,
+    )
+    fields.update(overrides)
+    return fields
+
+
+def _failed_fields(digest="d1", **overrides):
+    fields = dict(
+        app="STN",
+        policy="lru",
+        rate=50,
+        digest=digest,
+        error="WorkerCrash",
+        message="boom",
+        attempts=3,
+        elapsed=0.5,
+    )
+    fields.update(overrides)
+    return fields
+
+
+class TestValidateRecord:
+    def test_valid_run_start(self):
+        validate_record({"type": "run_start", "seq": 0, **_start_fields()})
+
+    def test_not_a_dict(self):
+        with pytest.raises(JournalError):
+            validate_record(["run_start"])
+
+    def test_unknown_type(self):
+        with pytest.raises(JournalError):
+            validate_record({"type": "mystery", "seq": 0})
+
+    def test_bad_seq(self):
+        with pytest.raises(JournalError):
+            validate_record({"type": "run_end", "seq": -1, "completed": 1, "failed": 0})
+        with pytest.raises(JournalError):
+            validate_record({"type": "run_end", "seq": True, "completed": 1, "failed": 0})
+
+    def test_missing_field(self):
+        fields = _done_fields()
+        del fields["digest"]
+        with pytest.raises(JournalError):
+            validate_record({"type": "job_done", "seq": 1, **fields})
+
+    def test_bool_not_accepted_as_int(self):
+        with pytest.raises(JournalError):
+            validate_record(
+                {"type": "job_done", "seq": 1, **_done_fields(attempts=True)}
+            )
+
+    def test_extra_field_must_be_scalar(self):
+        record = {"type": "job_done", "seq": 1, **_done_fields(), "note": "fine"}
+        validate_record(record)
+        record["extras"] = {"nested": 1}
+        with pytest.raises(JournalError):
+            validate_record(record)
+
+
+class TestRunJournal:
+    def test_append_read_roundtrip(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_start", **_start_fields())
+            journal.append("job_done", **_done_fields())
+            journal.append("run_end", completed=1, failed=0)
+        records = read_journal(path)
+        assert [r["type"] for r in records] == ["run_start", "job_done", "run_end"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+
+    def test_seq_continues_across_sessions(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_start", **_start_fields())
+            journal.append("run_interrupted", completed=0, remaining=1)
+        with RunJournal("run-test", path) as journal:
+            record = journal.append("run_start", **_start_fields())
+        assert record["seq"] == 2
+
+    def test_invalid_append_rejected_and_not_written(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        journal = RunJournal("run-test", path)
+        with pytest.raises(JournalError):
+            journal.append("job_done", app="STN")
+        journal.close()
+        assert read_journal(path, missing_ok=True) == []
+
+    def test_missing_journal(self, tmp_path):
+        assert read_journal(tmp_path / "nope.jsonl", missing_ok=True) == []
+        with pytest.raises(JournalError):
+            read_journal(tmp_path / "nope.jsonl")
+
+
+class TestTornLines:
+    def test_torn_trailing_line_warned_and_dropped(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_start", **_start_fields())
+        with path.open("a", encoding="utf-8") as stream:
+            stream.write('{"type":"job_done","seq":1,"ap')
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            records = read_journal(path)
+        assert len(records) == 1
+
+    def test_torn_mid_file_raises(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        start = {"type": "run_start", "seq": 0, **_start_fields()}
+        end = {"type": "run_end", "seq": 2, "completed": 0, "failed": 0}
+        path.write_text(
+            json.dumps(start) + "\n" + '{"torn":' + "\n" + json.dumps(end) + "\n"
+        )
+        with pytest.raises(JournalError, match="mid-file"):
+            read_journal(path)
+
+
+class TestSummarize:
+    def test_basic_summary(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        with RunJournal("run-x", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=3))
+            journal.append("job_done", **_done_fields(digest="d1", cached=True))
+            journal.append("job_done", **_done_fields(digest="d2", cached=False))
+            journal.append("job_failed", **_failed_fields(digest="d3"))
+            journal.append("run_end", completed=2, failed=1)
+        summary = summarize(path)
+        assert summary.run_id == "run-x"
+        assert summary.total_jobs == 3
+        # Only cached completions can be served on resume.
+        assert set(summary.completed) == {"d1"}
+        assert set(summary.failed) == {"d3"}
+        assert summary.ended and not summary.interrupted
+        assert summary.segments == 1
+
+    def test_job_done_clears_earlier_failure(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        with RunJournal("run-x", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=1))
+            journal.append("job_failed", **_failed_fields(digest="d1"))
+            journal.append("run_interrupted", completed=0, remaining=1)
+            journal.append("run_start", **_start_fields(total_jobs=1))
+            journal.append("job_done", **_done_fields(digest="d1", cached=True))
+            journal.append("run_end", completed=1, failed=0)
+        summary = summarize(path)
+        assert summary.segments == 2
+        assert set(summary.completed) == {"d1"}
+        assert summary.failed == {}
+        assert summary.ended
+
+    def test_interrupted_state(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        with RunJournal("run-x", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=2))
+            journal.append("job_done", **_done_fields(digest="d1"))
+            journal.append("run_interrupted", completed=1, remaining=1)
+        summary = summarize(path)
+        assert summary.interrupted and not summary.ended
+
+    def test_must_open_with_run_start(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        path.write_text(
+            json.dumps({"type": "run_end", "seq": 0, "completed": 0, "failed": 0})
+            + "\n"
+        )
+        with pytest.raises(JournalError, match="run_start"):
+            summarize(path)
+
+    def test_newer_schema_rejected(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        start = {
+            "type": "run_start",
+            "seq": 0,
+            **_start_fields(schema=JOURNAL_SCHEMA_VERSION + 1),
+        }
+        path.write_text(json.dumps(start) + "\n")
+        with pytest.raises(JournalError, match="newer"):
+            summarize(path)
+
+    def test_non_monotonic_seq_rejected(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        start = {"type": "run_start", "seq": 0, **_start_fields()}
+        dup = {"type": "run_end", "seq": 0, "completed": 0, "failed": 0}
+        path.write_text(json.dumps(start) + "\n" + json.dumps(dup) + "\n")
+        with pytest.raises(JournalError, match="monotonic"):
+            summarize(path)
+
+
+class TestDefaultLocations:
+    def test_journals_live_in_cache_dir(self, tmp_path, monkeypatch):
+        from repro.sim import cache
+
+        previous = cache.cache_dir()
+        cache.configure(enabled=True, directory=tmp_path / "cache")
+        try:
+            assert journal_dir() == tmp_path / "cache" / "runs"
+            assert journal_path("run-abc").name == "run-abc.jsonl"
+            assert list_runs() == []
+            assert load("run-abc") is None
+            with RunJournal("run-abc") as journal:
+                journal.append("run_start", **_start_fields(run_id="run-abc"))
+            assert list_runs() == ["run-abc"]
+            summary = load("run-abc")
+            assert summary is not None and summary.segments == 1
+        finally:
+            cache.configure(enabled=True, directory=previous)

@@ -1,0 +1,203 @@
+"""End-to-end resilience of `run_matrix`: chaos, degradation, resume.
+
+The acceptance criteria of the resilience work live here:
+
+* an interrupted matrix resumes from its journal and produces results
+  **bit-identical** (metric digests) to an uninterrupted run;
+* under injected faults the runner completes with retries, reporting
+  retry-exhausted cells as explicit failures — never an exception;
+* torn cache entries are detected, treated as misses, and recomputed to
+  identical results.
+
+Everything runs at ``scale=0.25`` on two small apps to stay fast.
+"""
+
+from __future__ import annotations
+
+import math
+import warnings
+
+import pytest
+
+from repro.experiments.runner import RunKey, matrix_run_id, run_matrix
+from repro.resil import MatrixInterrupted
+from repro.resil import chaos as resil_chaos
+from repro.resil import journal as resil_journal
+from repro.sim import cache as sim_cache
+
+APPS = ["STN", "HOT"]
+POLICIES = ["lru", "ideal"]
+RATES = [0.5]
+SCALE = 0.25
+
+
+@pytest.fixture(autouse=True)
+def _chaos_clean():
+    resil_chaos.deactivate()
+    yield
+    resil_chaos.deactivate()
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    """Point the persistent cache at an empty per-test directory."""
+    previous = sim_cache.cache_dir()
+    sim_cache.configure(enabled=True, directory=tmp_path / "cache")
+    yield tmp_path / "cache"
+    sim_cache.configure(enabled=True, directory=previous)
+
+
+def _digests(matrix):
+    return {key: result.metrics_digest() for key, result in matrix.results.items()}
+
+
+def _run(**overrides):
+    kwargs = dict(
+        policies=POLICIES, rates=RATES, apps=APPS, scale=SCALE, backoff=0.0
+    )
+    kwargs.update(overrides)
+    policies = kwargs.pop("policies")
+    return run_matrix(policies, **kwargs)
+
+
+class TestJournalledRun:
+    def test_clean_run_writes_ended_journal(self, fresh_cache):
+        matrix = _run()
+        assert not matrix.degraded
+        assert matrix.run_id.startswith("run-")
+        summary = resil_journal.load(matrix.run_id)
+        assert summary is not None
+        assert summary.ended and not summary.interrupted
+        assert summary.total_jobs == 4
+        assert len(summary.completed) == 4
+        assert summary.failed == {}
+
+    def test_run_id_is_deterministic(self):
+        first, hash_first = matrix_run_id(
+            POLICIES, RATES, APPS, seed=7, scale=SCALE
+        )
+        second, hash_second = matrix_run_id(
+            POLICIES, RATES, APPS, seed=7, scale=SCALE
+        )
+        other, _ = matrix_run_id(POLICIES, RATES, APPS, seed=8, scale=SCALE)
+        assert (first, hash_first) == (second, hash_second)
+        assert other != first
+
+    def test_no_journal_when_cache_disabled(self, tmp_path):
+        previous = sim_cache.cache_dir()
+        sim_cache.configure(enabled=False, directory=tmp_path / "cache")
+        try:
+            matrix = _run(policies=["lru"], apps=["STN"])
+            assert not resil_journal.journal_path(matrix.run_id).is_file()
+        finally:
+            sim_cache.configure(enabled=True, directory=previous)
+
+    def test_empty_matrix_short_circuits(self, fresh_cache):
+        matrix = run_matrix(["lru"], rates=[], apps=APPS)
+        assert matrix.results == {} and not matrix.degraded
+
+
+class TestResumeEquivalence:
+    def test_interrupt_then_resume_is_bit_identical(self, tmp_path):
+        # Reference digests from an uninterrupted run in its own cache.
+        sim_cache.configure(enabled=True, directory=tmp_path / "clean")
+        clean = _digests(_run())
+
+        # Interrupted run in a second, fresh cache: chaos delivers a
+        # SIGTERM-equivalent after two completions.
+        sim_cache.configure(enabled=True, directory=tmp_path / "resume")
+        with pytest.raises(MatrixInterrupted) as excinfo:
+            _run(chaos="sigterm=2,seed=3")
+        interrupted = excinfo.value
+        assert interrupted.completed == 2
+        assert interrupted.remaining == 2
+
+        summary = resil_journal.load(interrupted.run_id)
+        assert summary is not None
+        assert summary.interrupted and not summary.ended
+        assert len(summary.completed) == 2
+
+        # Re-running the same spec resumes from the journal's cache
+        # digests and lands on the same run id and identical bits.
+        resumed = _run()
+        assert resumed.run_id == interrupted.run_id
+        assert _digests(resumed) == clean
+
+        summary = resil_journal.load(interrupted.run_id)
+        assert summary.segments == 2
+        assert summary.ended
+        assert len(summary.completed) == 4
+
+    def test_torn_cache_entries_recomputed_identically(self, fresh_cache):
+        # torn=1.0 corrupts every persistent result entry as written
+        # (seed 11 keeps these digests distinct from other tests' — a
+        # digest is only torn once per process).
+        first = _run(seed=11, chaos="torn=1.0,seed=5")
+        assert not first.degraded
+        before = sim_cache.result_cache().stats.result_corrupt
+        second = _run(seed=11)
+        assert sim_cache.result_cache().stats.result_corrupt > before
+        assert _digests(second) == _digests(first)
+
+
+class TestGracefulDegradation:
+    def test_exhausted_retries_become_explicit_failures(self, fresh_cache):
+        matrix = _run(chaos="flaky=1.0,seed=3", retries=1)
+        assert matrix.degraded
+        assert matrix.results == {}
+        assert len(matrix.failures) == 4
+        for failure in matrix.failures.values():
+            assert failure.error_type == "ChaosTransientError"
+            assert failure.attempts == 2
+        assert len(matrix.failure_lines()) == 4
+        # Ratios over failed cells are NaN, not exceptions.
+        assert math.isnan(matrix.speedup("STN", "lru", "ideal", 0.5))
+        # Journal recorded the failures.
+        summary = resil_journal.load(matrix.run_id)
+        assert len(summary.failed) == 4
+        # Degradation is visible on the matrix metrics.
+        assert matrix.metrics.gauge("resil.degraded_cells") == 4
+        assert matrix.metrics.gauge("resil.completed_cells") == 0
+        assert matrix.metrics.gauge("resil.retries") == 4
+
+    def test_transient_faults_retried_to_completion(self, fresh_cache, tmp_path):
+        # Reference digests, then a faulty run in a second fresh cache:
+        # flaky=0.3 with a generous retry budget must converge on the
+        # same bits as the clean run.
+        clean = _digests(_run())
+        sim_cache.configure(enabled=True, directory=tmp_path / "flaky")
+        matrix = _run(chaos="flaky=0.3,seed=9", retries=6)
+        assert not matrix.degraded
+        assert _digests(matrix) == clean
+
+    def test_figures_render_degraded_not_raise(self, fresh_cache, monkeypatch):
+        from repro.experiments.figures import figure3
+
+        monkeypatch.setenv("REPRO_CHAOS", "flaky=1.0,seed=3")
+        monkeypatch.setenv("REPRO_RETRIES", "0")
+        monkeypatch.setenv("REPRO_BACKOFF", "0")
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            result = figure3(apps=["STN"], scale=SCALE)
+        degraded = [n for n in result.notes if n.startswith("DEGRADED")]
+        assert degraded, result.notes
+        assert any("3 cell(s) failed" in note for note in degraded)
+
+
+class TestSupervisedPath:
+    def test_parallel_crashes_reported_per_cell(self, fresh_cache):
+        matrix = _run(jobs=2, chaos="crash=1.0,seed=3", retries=0, timeout=60.0)
+        assert matrix.degraded
+        assert len(matrix.failures) == 4
+        for failure in matrix.failures.values():
+            assert failure.error_type == "WorkerCrash"
+        summary = resil_journal.load(matrix.run_id)
+        assert len(summary.failed) == 4
+        assert matrix.metrics.gauge("resil.crashes") == 4
+
+    def test_parallel_clean_run_matches_serial(self, fresh_cache, tmp_path):
+        serial = _digests(_run())
+        sim_cache.configure(enabled=True, directory=tmp_path / "par")
+        parallel = _digests(_run(jobs=2, timeout=120.0))
+        assert parallel == serial
+        assert RunKey("STN", "lru", 0.5) in parallel

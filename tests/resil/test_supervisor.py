@@ -1,0 +1,219 @@
+"""Supervised worker pool (`repro.resil.supervisor`)."""
+
+from __future__ import annotations
+
+import os
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.resil.chaos import CHAOS_CRASH_EXIT, ChaosSpec
+from repro.resil.supervisor import (
+    DEFAULT_BACKOFF_S,
+    DEFAULT_RETRIES,
+    DEFAULT_TIMEOUT_S,
+    SupervisorInterrupted,
+    WorkerSupervisor,
+    backoff_delay,
+    resolve_backoff,
+    resolve_retries,
+    resolve_timeout,
+)
+
+# Worker functions live at module level so every start method can
+# reach them; payloads are plain picklable tuples.
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _crash_on_seven(payload):
+    if payload == 7:
+        os._exit(CHAOS_CRASH_EXIT)
+    return payload
+
+
+def _hang_on_seven(payload):
+    if payload == 7:
+        time.sleep(3600)
+    return payload
+
+
+def _raise_with_stderr(payload):
+    print("boom to stderr", file=sys.stderr, flush=True)
+    raise ValueError(f"bad payload {payload}")
+
+
+def _fail_once(payload):
+    """Fails the first time per sentinel path, succeeds after."""
+    sentinel = Path(payload)
+    if not sentinel.exists():
+        sentinel.write_text("seen")
+        raise RuntimeError("first attempt always fails")
+    return "recovered"
+
+
+class TestHappyPath:
+    def test_all_jobs_complete(self):
+        supervisor = WorkerSupervisor(_square, 3, timeout=30.0, backoff=0.0)
+        items = [(f"job-{i}", i) for i in range(8)]
+        outcomes = supervisor.run(items)
+        assert len(outcomes) == 8
+        assert all(outcome.ok for outcome in outcomes.values())
+        assert {k: o.result for k, o in outcomes.items()} == {
+            f"job-{i}": i * i for i in range(8)
+        }
+        assert supervisor.stats.completed == 8
+        assert supervisor.stats.retries == 0
+
+    def test_empty_items(self):
+        supervisor = WorkerSupervisor(_square, 2)
+        assert supervisor.run([]) == {}
+
+    def test_on_outcome_fires_per_job(self):
+        seen = []
+        supervisor = WorkerSupervisor(_square, 2, timeout=30.0, backoff=0.0)
+        supervisor.run(
+            [(f"job-{i}", i) for i in range(4)],
+            on_outcome=lambda outcome: seen.append(outcome.key),
+        )
+        assert sorted(seen) == [f"job-{i}" for i in range(4)]
+
+
+class TestFailureModes:
+    def test_crash_isolated_and_reported(self):
+        supervisor = WorkerSupervisor(
+            _crash_on_seven, 2, timeout=30.0, retries=1, backoff=0.0
+        )
+        outcomes = supervisor.run([("ok", 1), ("dead", 7)])
+        assert outcomes["ok"].ok and outcomes["ok"].result == 1
+        failure = outcomes["dead"].failure
+        assert failure is not None
+        assert failure.error_type == "WorkerCrash"
+        assert str(CHAOS_CRASH_EXIT) in failure.message
+        assert failure.attempts == 2
+        assert supervisor.stats.crashes == 2
+        assert supervisor.stats.exhausted == 1
+
+    def test_timeout_kills_and_reports(self):
+        supervisor = WorkerSupervisor(
+            _hang_on_seven, 2, timeout=1.0, retries=0, backoff=0.0
+        )
+        started = time.monotonic()
+        outcomes = supervisor.run([("ok", 1), ("hung", 7)])
+        elapsed = time.monotonic() - started
+        assert outcomes["ok"].ok
+        failure = outcomes["hung"].failure
+        assert failure is not None and failure.error_type == "JobTimeout"
+        assert supervisor.stats.timeouts == 1
+        # The hang was killed at the deadline, not waited out.
+        assert elapsed < 30.0
+
+    def test_exception_captured_with_stderr(self):
+        supervisor = WorkerSupervisor(
+            _raise_with_stderr, 1, timeout=30.0, retries=2, backoff=0.0
+        )
+        outcomes = supervisor.run([("job", 0)])
+        failure = outcomes["job"].failure
+        assert failure is not None
+        assert failure.error_type == "ValueError"
+        assert "bad payload 0" in failure.message
+        assert failure.attempts == 3
+        assert "boom to stderr" in failure.stderr_tail
+        assert supervisor.stats.transient_errors == 3
+
+    def test_retry_then_succeed(self, tmp_path):
+        sentinel = tmp_path / "sentinel"
+        supervisor = WorkerSupervisor(
+            _fail_once, 1, timeout=30.0, retries=2, backoff=0.0
+        )
+        outcomes = supervisor.run([("job", str(sentinel))])
+        outcome = outcomes["job"]
+        assert outcome.ok and outcome.result == "recovered"
+        assert outcome.attempts == 2
+        assert supervisor.stats.retries == 1
+        assert supervisor.stats.exhausted == 0
+
+    def test_failure_render_mentions_key_and_stderr(self):
+        supervisor = WorkerSupervisor(
+            _raise_with_stderr, 1, timeout=30.0, retries=0, backoff=0.0
+        )
+        outcomes = supervisor.run([("job", 0)])
+        text = outcomes["job"].failure.render()
+        assert "job" in text and "ValueError" in text and "stderr" in text
+
+
+class TestChaosIntegration:
+    def test_flaky_exhaustion(self):
+        supervisor = WorkerSupervisor(
+            _square, 1, timeout=30.0, retries=1, backoff=0.0,
+            chaos=ChaosSpec.parse("flaky=1.0,seed=3"),
+        )
+        outcomes = supervisor.run([("job", 2)])
+        failure = outcomes["job"].failure
+        assert failure is not None
+        assert failure.error_type == "ChaosTransientError"
+        assert failure.attempts == 2
+
+    def test_sigterm_after_n_completions(self):
+        supervisor = WorkerSupervisor(
+            _square, 1, timeout=30.0, retries=0, backoff=0.0,
+            chaos=ChaosSpec.parse("sigterm=2,seed=3"),
+        )
+        delivered = []
+        with pytest.raises(SupervisorInterrupted):
+            supervisor.run(
+                [(f"job-{i}", i) for i in range(5)],
+                on_outcome=lambda outcome: delivered.append(outcome.key),
+            )
+        # The triggering outcome is delivered before the interrupt.
+        assert len(delivered) == 2
+
+
+class TestKnobs:
+    def test_backoff_delay_deterministic(self):
+        assert backoff_delay(0.25, "k", 1) == backoff_delay(0.25, "k", 1)
+        assert backoff_delay(0.25, "k", 1) != backoff_delay(0.25, "other", 1)
+
+    def test_backoff_delay_grows_exponentially(self):
+        first = backoff_delay(0.25, "k", 1)
+        third = backoff_delay(0.25, "k", 3)
+        # Base step quadruples attempt 1 → 3; jitter is within [1, 2).
+        assert 0.25 <= first < 0.5
+        assert 1.0 <= third < 2.0
+
+    def test_backoff_zero_base(self):
+        assert backoff_delay(0.0, "k", 5) == 0.0
+
+    def test_resolve_defaults(self, monkeypatch):
+        for name in ("REPRO_TIMEOUT", "REPRO_RETRIES", "REPRO_BACKOFF"):
+            monkeypatch.delenv(name, raising=False)
+        assert resolve_timeout() == DEFAULT_TIMEOUT_S
+        assert resolve_retries() == DEFAULT_RETRIES
+        assert resolve_backoff() == DEFAULT_BACKOFF_S
+
+    def test_resolve_env_overrides(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT", "12.5")
+        monkeypatch.setenv("REPRO_RETRIES", "5")
+        monkeypatch.setenv("REPRO_BACKOFF", "0.1")
+        assert resolve_timeout() == 12.5
+        assert resolve_retries() == 5
+        assert resolve_backoff() == 0.1
+
+    def test_resolve_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT", "12.5")
+        assert resolve_timeout(3.0) == 3.0
+        assert resolve_retries(0) == 0
+
+    def test_resolve_garbage_env_falls_back(self, monkeypatch):
+        monkeypatch.setenv("REPRO_TIMEOUT", "soon")
+        monkeypatch.setenv("REPRO_RETRIES", "-3")
+        assert resolve_timeout() == DEFAULT_TIMEOUT_S
+        assert resolve_retries() == DEFAULT_RETRIES
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            WorkerSupervisor(_square, 0)

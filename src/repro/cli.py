@@ -373,7 +373,7 @@ def _check_journal(args: argparse.Namespace) -> int:
             continue
         state = ("ended" if summary.ended
                  else "interrupted" if summary.interrupted else "open")
-        print(f"{run_id}: ok — {len(summary.completed)}/"
+        print(f"{run_id}: ok — {summary.done}/"
               f"{summary.total_jobs} completed, {len(summary.failed)} "
               f"failed, {summary.segments} segment(s), {state}")
     if invalid:
@@ -401,7 +401,7 @@ def _resume(args: argparse.Namespace) -> int:
             assert summary is not None
             state = ("ended" if summary.ended
                      else "interrupted" if summary.interrupted else "open")
-            print(f"{run_id}: {len(summary.completed)}/"
+            print(f"{run_id}: {summary.done}/"
                   f"{summary.total_jobs} completed, {state}")
         return 0
     summary = resil_journal.load(args.run_id)
@@ -416,7 +416,7 @@ def _resume(args: argparse.Namespace) -> int:
               "the result cache still serves its completed jobs",
               file=sys.stderr)
         return 1
-    print(f"resuming {args.run_id}: {len(summary.completed)}/"
+    print(f"resuming {args.run_id}: {summary.done}/"
           f"{summary.total_jobs} job(s) already completed", file=sys.stderr)
     matrix = run_matrix(
         spec["policies"], rates=spec["rates"], apps=spec["apps"],

@@ -430,7 +430,8 @@ def run_matrix(
     one retry (never the matrix), and results are folded in the same
     deterministic order the serial path produces.  Workers build traces
     locally (traces are never pickled across the boundary).  ``jobs=1``
-    runs serially in this process with the same retry discipline.
+    runs serially in this process with the same retry discipline but no
+    wall-clock timeout enforcement (there is no process to kill).
 
     When the persistent cache is on (and the run is not observed), every
     completion is recorded in an append-only run journal keyed by the
@@ -587,7 +588,11 @@ def run_matrix(
 
     previous_handler = install_sigterm()
     try:
-        if jobs == 1 or len(remaining) <= 1:
+        # jobs > 1 always takes the supervised path — even for a single
+        # remaining cell (e.g. a resume with one missing job) — because
+        # only the supervisor enforces the wall-clock timeout; the serial
+        # path can retry but never kill a hung simulation.
+        if jobs == 1:
             _run_serial(
                 matrix, remaining,
                 seed=seed, scale=scale, config=config,

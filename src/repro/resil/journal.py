@@ -164,6 +164,7 @@ class RunJournal:
                 self._seq = (
                     existing[-1]["seq"] + 1 if existing else 0
                 )
+            _repair_tail(self.path)
             self._stream = self.path.open("a", encoding="utf-8")
         return self._stream
 
@@ -192,6 +193,34 @@ class RunJournal:
 
     def __exit__(self, *_exc: object) -> None:
         self.close()
+
+
+def _repair_tail(path: Path) -> None:
+    """Ensure the journal ends on a record boundary before appending.
+
+    A crash mid-append can leave an unterminated final line — either a
+    torn JSON fragment or a complete record missing only its newline.
+    :func:`read_journal` tolerates both, but appending after them would
+    concatenate the next record onto the fragment, turning a survivable
+    crashed-tail write into mid-file corruption that poisons every later
+    read.  So: a fragment is truncated away (matching what readers
+    already dropped), an unterminated-but-intact record gets its newline.
+    """
+    if not path.is_file():
+        return
+    with path.open("r+b") as stream:
+        data = stream.read()
+        if not data or data.endswith(b"\n"):
+            return
+        tail_start = data.rfind(b"\n") + 1
+        try:
+            json.loads(data[tail_start:].decode("utf-8"))
+        except (UnicodeDecodeError, ValueError):
+            stream.truncate(tail_start)
+        else:
+            stream.write(b"\n")
+        stream.flush()
+        os.fsync(stream.fileno())
 
 
 def read_journal(
@@ -251,11 +280,20 @@ class JournalSummary:
     #: digest → most recent ``job_done`` record with ``cached=True``
     #: (only cached completions can be served on resume).
     completed: dict[str, dict] = field(default_factory=dict)
+    #: Every digest whose latest terminal state is a completion —
+    #: cached or not.  Reporting (``check journal``, resume listings)
+    #: counts these; only :attr:`completed` is resume-serviceable.
+    done_digests: set[str] = field(default_factory=set)
     #: digest → most recent ``job_failed`` record.
     failed: dict[str, dict] = field(default_factory=dict)
     segments: int = 0
     interrupted: bool = False
     ended: bool = False
+
+    @property
+    def done(self) -> int:
+        """Completions to report — cached or not (see :attr:`done_digests`)."""
+        return len(self.done_digests)
 
     @property
     def total_jobs(self) -> int:
@@ -298,10 +336,13 @@ def summarize(path: Union[str, Path], run_id: str = "") -> JournalSummary:
             summary.ended = False
         elif record_type == "job_done":
             summary.failed.pop(record["digest"], None)
+            summary.done_digests.add(record["digest"])
             if record["cached"]:
                 summary.completed[record["digest"]] = record
         elif record_type == "job_failed":
             summary.failed[record["digest"]] = record
+            summary.done_digests.discard(record["digest"])
+            summary.completed.pop(record["digest"], None)
         elif record_type == "run_interrupted":
             summary.interrupted = True
         elif record_type == "run_end":

@@ -518,7 +518,25 @@ class WorkerSupervisor:
                     try:
                         message = worker.conn.recv()
                     except (EOFError, OSError):
-                        message = None  # died mid-send → crash path
+                        # The result pipe is gone — worker died mid-send,
+                        # or closed its fd while staying alive.  Either
+                        # way this is a crash *now*: waiting for the
+                        # sentinel would busy-spin (wait() re-reports the
+                        # dead pipe every iteration) until the deadline.
+                        self.stats.crashes += 1
+                        exit_code = worker.process.exitcode
+                        tail = self._stderr_tail(worker)
+                        self._kill_worker(worker)
+                        self._workers[index] = self._spawn_worker()
+                        terminal = self._record_failure(
+                            job, pending, outcomes, "WorkerCrash",
+                            "result pipe closed without a result "
+                            f"(exit code {exit_code})",
+                            tail, now,
+                        )
+                        if terminal is not None:
+                            self._finish(outcomes, terminal, on_outcome)
+                        continue
                 if message is not None:
                     worker.job = None
                     if message[0] == "ok":

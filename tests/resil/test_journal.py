@@ -159,6 +159,49 @@ class TestTornLines:
         with pytest.raises(JournalError, match="mid-file"):
             read_journal(path)
 
+    def test_resume_after_torn_tail_truncates_fragment(self, tmp_path):
+        """A crash-torn tail must not poison the resumed segment.
+
+        Appending after a torn trailing line used to concatenate the
+        resume's first record onto the fragment, turning a survivable
+        crash into mid-file corruption on every later read.
+        """
+        path = tmp_path / "run.jsonl"
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=2))
+            journal.append("job_done", **_done_fields(digest="d1"))
+        with path.open("a", encoding="utf-8") as stream:
+            stream.write('{"type":"job_done","seq":2,"ap')  # crash mid-append
+        with pytest.warns(RuntimeWarning, match="torn trailing record"):
+            with RunJournal("run-test", path) as journal:
+                record = journal.append("run_start", **_start_fields(total_jobs=2))
+                journal.append("job_done", **_done_fields(digest="d2"))
+        assert record["seq"] == 2  # the torn record was dropped, not counted
+        records = read_journal(path)  # no warning, no JournalError
+        assert [r["type"] for r in records] == [
+            "run_start", "job_done", "run_start", "job_done",
+        ]
+        summary = summarize(path)
+        assert set(summary.completed) == {"d1", "d2"}
+        assert summary.segments == 2
+        # And the journal is still appendable after the repair.
+        with RunJournal("run-test", path) as journal:
+            assert journal.append("run_end", completed=2, failed=0)["seq"] == 4
+
+    def test_resume_after_unterminated_intact_record_keeps_it(self, tmp_path):
+        """A complete final record missing only its newline is preserved."""
+        path = tmp_path / "run.jsonl"
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=1))
+            journal.append("job_done", **_done_fields(digest="d1"))
+        path.write_bytes(path.read_bytes().rstrip(b"\n"))
+        with RunJournal("run-test", path) as journal:
+            journal.append("run_end", completed=1, failed=0)
+        records = read_journal(path)
+        assert [r["type"] for r in records] == ["run_start", "job_done", "run_end"]
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert set(summarize(path).completed) == {"d1"}
+
 
 class TestSummarize:
     def test_basic_summary(self, tmp_path):
@@ -172,8 +215,12 @@ class TestSummarize:
         summary = summarize(path)
         assert summary.run_id == "run-x"
         assert summary.total_jobs == 3
-        # Only cached completions can be served on resume.
+        # Only cached completions can be served on resume...
         assert set(summary.completed) == {"d1"}
+        # ...but reporting counts every completion, cached or not
+        # (a cache-disabled run is still a finished run).
+        assert summary.done == 2
+        assert summary.done_digests == {"d1", "d2"}
         assert set(summary.failed) == {"d3"}
         assert summary.ended and not summary.interrupted
         assert summary.segments == 1
@@ -190,8 +237,22 @@ class TestSummarize:
         summary = summarize(path)
         assert summary.segments == 2
         assert set(summary.completed) == {"d1"}
+        assert summary.done == 1
         assert summary.failed == {}
         assert summary.ended
+
+    def test_later_failure_supersedes_completion(self, tmp_path):
+        path = tmp_path / "run-x.jsonl"
+        with RunJournal("run-x", path) as journal:
+            journal.append("run_start", **_start_fields(total_jobs=1))
+            journal.append("job_done", **_done_fields(digest="d1"))
+            journal.append("run_interrupted", completed=1, remaining=0)
+            journal.append("run_start", **_start_fields(total_jobs=1))
+            journal.append("job_failed", **_failed_fields(digest="d1"))
+        summary = summarize(path)
+        assert summary.done == 0
+        assert summary.completed == {}
+        assert set(summary.failed) == {"d1"}
 
     def test_interrupted_state(self, tmp_path):
         path = tmp_path / "run-x.jsonl"

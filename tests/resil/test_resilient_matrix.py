@@ -195,6 +195,19 @@ class TestSupervisedPath:
         assert len(summary.failed) == 4
         assert matrix.metrics.gauge("resil.crashes") == 4
 
+    def test_single_remaining_cell_stays_supervised(self, fresh_cache, monkeypatch):
+        # With jobs > 1 even a lone cell must go through the supervisor:
+        # the serial fallback cannot enforce the wall-clock timeout.
+        from repro.experiments import runner as runner_module
+
+        def _no_serial(*_args, **_kwargs):
+            raise AssertionError("serial path must not run when jobs > 1")
+
+        monkeypatch.setattr(runner_module, "_run_serial", _no_serial)
+        matrix = _run(policies=["lru"], apps=["STN"], jobs=2, timeout=120.0)
+        assert not matrix.degraded
+        assert len(matrix.results) == 1
+
     def test_parallel_clean_run_matches_serial(self, fresh_cache, tmp_path):
         serial = _digests(_run())
         sim_cache.configure(enabled=True, directory=tmp_path / "par")

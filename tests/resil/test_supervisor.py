@@ -47,6 +47,17 @@ def _raise_with_stderr(payload):
     raise ValueError(f"bad payload {payload}")
 
 
+def _close_pipe_and_linger(payload):
+    """Close every inherited fd (including the result pipe) but stay alive.
+
+    The parent sees EOF on the result pipe while the process sentinel
+    stays quiet — the pathological state that used to busy-spin the
+    supervision loop until the per-job deadline.
+    """
+    os.closerange(3, 256)
+    time.sleep(3600)
+
+
 def _fail_once(payload):
     """Fails the first time per sentinel path, succeeds after."""
     sentinel = Path(payload)
@@ -112,7 +123,20 @@ class TestFailureModes:
         # The hang was killed at the deadline, not waited out.
         assert elapsed < 30.0
 
-    def test_exception_captured_with_stderr(self):
+    def test_pipe_eof_with_live_worker_is_immediate_crash(self):
+        supervisor = WorkerSupervisor(
+            _close_pipe_and_linger, 1, timeout=30.0, retries=0, backoff=0.0
+        )
+        started = time.monotonic()
+        outcomes = supervisor.run([("job", 0)])
+        elapsed = time.monotonic() - started
+        failure = outcomes["job"].failure
+        assert failure is not None
+        assert failure.error_type == "WorkerCrash"
+        assert "pipe closed" in failure.message
+        assert supervisor.stats.crashes == 1
+        # Handled the moment the pipe died — not at the 30s deadline.
+        assert elapsed < 15.0
         supervisor = WorkerSupervisor(
             _raise_with_stderr, 1, timeout=30.0, retries=2, backoff=0.0
         )

@@ -7,12 +7,20 @@ wall-clock times plus the speedup into ``BENCH_matrix.json`` at the
 repository root.  The warm/cold ratio is the headline number for the
 caching layer; the ISSUE's acceptance bar is a ≥10× warm speedup.
 
+A second benchmark times the same cold slice under the flattened v1
+inner loop (``REPRO_SIM_FASTPATH=1``) and the vectorized batch kernel
+(``REPRO_SIM_FASTPATH=2``) and records the v2-over-v1 speedup next to
+the caching numbers.  The tiers are bit-identical (``tests/diff``), so
+this is a pure like-for-like inner-loop comparison.
+
 Shrink the slice with ``REPRO_BENCH_SCALE`` / ``REPRO_BENCH_APPS`` and
 pick the worker count with ``REPRO_BENCH_JOBS`` (default: serial).
 """
 
 from __future__ import annotations
 
+import json
+import os
 import time
 from pathlib import Path
 
@@ -21,6 +29,7 @@ from conftest import bench_apps, bench_jobs, bench_scale
 from repro.experiments.runner import clear_trace_cache, run_matrix
 from repro.resil.atomic import atomic_write_json
 from repro.sim import cache as sim_cache
+from repro.sim.config import FASTPATH_ENV
 
 #: Default acceptance slice: one app per pattern type.
 DEFAULT_APPS = ["BFS", "STN", "HOT"]
@@ -35,6 +44,18 @@ def _timed_matrix(jobs: int) -> float:
     run_matrix(POLICIES, rates=RATES, apps=bench_apps() or DEFAULT_APPS,
                scale=bench_scale(), jobs=jobs)
     return time.perf_counter() - start
+
+
+def _merge_into_output(fragment: dict) -> None:
+    """Update ``BENCH_matrix.json`` without clobbering the other bench."""
+    payload = {}
+    if OUTPUT.is_file():
+        try:
+            payload = json.loads(OUTPUT.read_text(encoding="ascii"))
+        except (ValueError, OSError):
+            payload = {}
+    payload.update(fragment)
+    atomic_write_json(OUTPUT, payload)
 
 
 def test_matrix_cold_vs_warm(tmp_path):
@@ -58,8 +79,53 @@ def test_matrix_cold_vs_warm(tmp_path):
         "warm_seconds": round(warm, 4),
         "warm_speedup": round(cold / warm, 2) if warm else float("inf"),
     }
-    atomic_write_json(OUTPUT, payload)
+    _merge_into_output(payload)
     print()
     print(f"matrix wall-clock: cold {cold:.3f}s, warm {warm:.3f}s "
           f"({payload['warm_speedup']}x) -> {OUTPUT.name}")
     assert warm < cold
+
+
+def test_matrix_fastpath_v1_vs_v2(tmp_path):
+    """Cold inner-loop wall-clock: flattened v1 vs. batch-kernel v2.
+
+    The result cache is disabled for the whole comparison (we are
+    timing the simulator, not the cache) and a warm-up pass builds the
+    traces first so neither timed run pays trace generation.
+    """
+    jobs = bench_jobs()
+    previous_dir = sim_cache.cache_dir()
+    previous_enabled = sim_cache.cache_enabled()
+    previous_level = os.environ.get(FASTPATH_ENV)
+    sim_cache.configure(enabled=False, directory=tmp_path)
+    clear_trace_cache()
+    try:
+        _timed_matrix(jobs)  # warm-up: trace build + import costs
+        os.environ[FASTPATH_ENV] = "1"
+        v1 = _timed_matrix(jobs)
+        os.environ[FASTPATH_ENV] = "2"
+        v2 = _timed_matrix(jobs)
+    finally:
+        if previous_level is None:
+            os.environ.pop(FASTPATH_ENV, None)
+        else:
+            os.environ[FASTPATH_ENV] = previous_level
+        sim_cache.configure(enabled=previous_enabled, directory=previous_dir)
+    fragment = {
+        "fastpath": {
+            "apps": bench_apps() or DEFAULT_APPS,
+            "policies": POLICIES,
+            "rates": RATES,
+            "scale": bench_scale(),
+            "jobs": jobs,
+            "v1_seconds": round(v1, 4),
+            "v2_seconds": round(v2, 4),
+            "v2_over_v1_speedup": round(v1 / v2, 2) if v2 else float("inf"),
+        }
+    }
+    _merge_into_output(fragment)
+    print()
+    print(f"matrix inner loop: v1 {v1:.3f}s, v2 {v2:.3f}s "
+          f"({fragment['fastpath']['v2_over_v1_speedup']}x) "
+          f"-> {OUTPUT.name}")
+    assert v1 > 0 and v2 > 0

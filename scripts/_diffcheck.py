@@ -1,0 +1,60 @@
+"""Ad-hoc ref vs v1 vs v2 equivalence smoke check (dev aid, not a test).
+
+Replays the *real application* traces across all three simulator tiers.
+The supported differential harness — synthetic generators, eviction-
+sequence recording, auto-shrinking, goldens — is ``hpe-repro diff`` and
+``tests/diff/``; this script stays as a quick full-suite sweep.
+"""
+import sys
+
+sys.path.insert(0, "src")
+
+from repro.experiments.runner import (  # noqa: E402
+    DEFAULT_SEED,
+    POLICY_NAMES,
+    _TRACES,
+    make_policy,
+)
+from repro.sim.engine import UVMSimulator  # noqa: E402
+from repro.workloads.suite import get_application  # noqa: E402
+
+
+def run_level(app, policy_name, rate, level, scale=1.0):
+    spec = get_application(app)
+    trace = _TRACES.get(app, DEFAULT_SEED, scale)
+    cap = trace.capacity_for(rate)
+    policy = make_policy(policy_name, cap, spec=spec, seed=DEFAULT_SEED)
+    sim = UVMSimulator(policy, cap)
+    res = sim.run(trace.pages, workload_name=app, fast=level)
+    return res.key_metrics()
+
+
+def main():
+    apps = sys.argv[1].split(",") if len(sys.argv) > 1 else ["BFS", "STN", "HOT"]
+    policies = sys.argv[2].split(",") if len(sys.argv) > 2 else list(POLICY_NAMES)
+    rates = [0.75, 0.5]
+    bad = 0
+    for app in apps:
+        for pol in policies:
+            for rate in rates:
+                ref = run_level(app, pol, rate, 0)
+                v1 = run_level(app, pol, rate, 1)
+                v2 = run_level(app, pol, rate, 2)
+                ok1 = v1 == ref
+                ok2 = v2 == ref
+                if not (ok1 and ok2):
+                    bad += 1
+                    print(f"{app:4s} {pol:10s} {rate}: MISMATCH "
+                          f"(v1={'ok' if ok1 else 'BAD'} v2={'ok' if ok2 else 'BAD'})")
+                    target = v1 if not ok1 else v2
+                    for k in sorted(set(ref) | set(target)):
+                        if ref.get(k) != target.get(k):
+                            print(f"    {k}: ref={ref.get(k)} got={target.get(k)}")
+                else:
+                    print(f"{app:4s} {pol:10s} {rate}: OK")
+    print("FAILURES:", bad)
+    sys.exit(1 if bad else 0)
+
+
+if __name__ == "__main__":
+    main()

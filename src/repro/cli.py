@@ -100,6 +100,11 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--retries", type=int, default=None, metavar="N",
                         help="extra attempts per failed matrix job "
                              "(same as REPRO_RETRIES)")
+    parser.add_argument("--fastpath", type=int, default=None,
+                        choices=(0, 1, 2), metavar="LEVEL",
+                        help="simulator inner-loop tier: 0=reference, "
+                             "1=flattened, 2=vectorized batch kernel "
+                             "(same as REPRO_SIM_FASTPATH; default 2)")
 
 
 def _apps_arg(value: Optional[str]) -> Optional[list[str]]:
@@ -219,6 +224,37 @@ def build_parser() -> argparse.ArgumentParser:
                               "2000 faults")
     _add_common(check_p)
 
+    diff_p = sub.add_parser(
+        "diff",
+        help="differential check: replay synthetic traces through all "
+             "simulator tiers and diff every observable",
+    )
+    diff_p.add_argument("--seeds", type=str, default="11,23,47",
+                        metavar="S1,S2,...",
+                        help="comma-separated trace seeds (default "
+                             "11,23,47)")
+    diff_p.add_argument("--length", type=int, default=2048,
+                        help="episodes per synthetic trace (default 2048)")
+    diff_p.add_argument("--policies", type=str, default=None,
+                        help="comma-separated subset of policies "
+                             "(default: all)")
+    diff_p.add_argument("--generators", type=str, default=None,
+                        help="comma-separated subset of trace generators "
+                             "(default: all)")
+    _add_common(diff_p)
+
+    gold_p = sub.add_parser(
+        "golden",
+        help="check the golden key-metrics snapshots "
+             "(--update regenerates them)",
+    )
+    gold_p.add_argument("--update", action="store_true",
+                        help="rewrite the snapshots from the current "
+                             "simulator instead of checking")
+    gold_p.add_argument("--dir", type=str, default=None, metavar="DIR",
+                        help="snapshot directory (default: "
+                             "tests/diff/golden in the source checkout)")
+
     lint_p = sub.add_parser(
         "lint", help="run the repo-specific AST lint pass (REP001-REP007)"
     )
@@ -279,6 +315,11 @@ def _apply_runtime_flags(args: argparse.Namespace) -> None:
         from repro.resil import supervisor as resil_supervisor
 
         os.environ[resil_supervisor.ENV_RETRIES] = str(retries)
+    fastpath = getattr(args, "fastpath", None)
+    if fastpath is not None:
+        from repro.sim.config import FASTPATH_ENV
+
+        os.environ[FASTPATH_ENV] = str(fastpath)
 
 
 def _common_kwargs(args: argparse.Namespace) -> dict:
@@ -429,6 +470,87 @@ def _resume(args: argparse.Namespace) -> int:
     return 1 if matrix.degraded else 0
 
 
+def _run_diff(args: argparse.Namespace) -> int:
+    """``diff``: the differential matrix over all simulator tiers."""
+    from repro.check.diffrun import compare_levels
+    from repro.check.difftraces import GENERATORS, build
+    from repro.experiments.runner import POLICY_NAMES
+
+    seeds = [int(part) for part in args.seeds.split(",") if part.strip()]
+    if not seeds:
+        print("diff: --seeds is empty", file=sys.stderr)
+        return 2
+    policies = (
+        [part.strip().lower() for part in args.policies.split(",")
+         if part.strip()]
+        if args.policies else list(POLICY_NAMES)
+    )
+    kinds = (
+        [part.strip() for part in args.generators.split(",") if part.strip()]
+        if args.generators else list(GENERATORS)
+    )
+    for kind in kinds:
+        if kind not in GENERATORS:
+            print(f"diff: unknown generator {kind!r} "
+                  f"(known: {', '.join(GENERATORS)})", file=sys.stderr)
+            return 2
+    start = time.time()
+    cells = 0
+    failures: list[str] = []
+    for seed in seeds:
+        for kind in kinds:
+            trace = build(kind, seed, args.length)
+            bad = 0
+            for policy in policies:
+                for rate in (0.75, 0.5):
+                    capacity = max(8, int(trace.footprint_pages * rate))
+                    report = compare_levels(
+                        trace.pages, policy, capacity,
+                        sanitize=bool(getattr(args, "sanitize", False)),
+                        workload_name=trace.name,
+                    )
+                    cells += 1
+                    if not report.ok:
+                        bad += 1
+                        failures.extend(
+                            f"seed {seed} {kind} @ {rate:.0%}: {line}"
+                            for line in report.mismatches
+                        )
+            status = "ok" if not bad else f"{bad} MISMATCHED cell(s)"
+            print(f"seed {seed:>6d} {kind:<14s} "
+                  f"{len(policies) * 2:>3d} cells: {status}")
+    elapsed = time.time() - start
+    for line in failures:
+        print(f"  MISMATCH {line}")
+    verdict = "bit-identical" if not failures else \
+        f"{len(failures)} mismatch(es)"
+    print(f"diff: {cells} cells x 3 tiers in {elapsed:.1f}s: {verdict}")
+    return 1 if failures else 0
+
+
+def _run_golden(args: argparse.Namespace) -> int:
+    """``golden [--update]``: key-metrics snapshot check/regeneration."""
+    from pathlib import Path
+
+    from repro.check import golden
+
+    directory = Path(args.dir) if args.dir else None
+    if args.update:
+        for path in golden.write_golden(directory):
+            print(f"wrote {path}")
+        return 0
+    problems = golden.check_golden(directory)
+    if problems:
+        for problem in problems:
+            print(f"  GOLDEN {problem}")
+        print(f"golden: {len(problems)} mismatch(es) "
+              "(intentional change? regenerate with: "
+              "hpe-repro golden --update)")
+        return 1
+    print("golden: all snapshots match")
+    return 0
+
+
 def _run_check(args: argparse.Namespace) -> int:
     """``check {invariants,determinism,journal} APP [POLICY] [RATE]``."""
     from repro import check as check_module
@@ -527,6 +649,12 @@ def _dispatch(parser: argparse.ArgumentParser,
 
     if args.command == "check":
         return _run_check(args)
+
+    if args.command == "diff":
+        return _run_diff(args)
+
+    if args.command == "golden":
+        return _run_golden(args)
 
     if args.command == "lint":
         from pathlib import Path

@@ -23,7 +23,7 @@ using HIR" (used in the Section V-A sensitivity studies).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING, Optional, Sequence
 
 from repro.core.adjustment import DynamicAdjustment
 from repro.core.chain import PageSetChain
@@ -301,6 +301,16 @@ class HPEPolicy(EvictionPolicy):
             return
         tag, offset = self.geometry.split(page)
         self._apply_hit_touch(tag, offset, 1)
+
+    def on_walk_hits(self, pages: Sequence[int]) -> None:
+        if self._use_hir:
+            self.hir.record_hits(list(pages))
+            return
+        split = self.geometry.split
+        apply_touch = self._apply_hit_touch
+        for page in pages:
+            tag, offset = split(page)
+            apply_touch(tag, offset, 1)
 
     def _apply_hit_touch(self, tag: int, offset: int, count: int) -> None:
         key, _mask, _divided = self._route(tag, offset)

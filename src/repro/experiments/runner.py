@@ -74,6 +74,16 @@ DEFAULT_SEED = 7
 #: :func:`run_matrix` (``0`` means "one worker per CPU").
 ENV_JOBS = "REPRO_JOBS"
 
+#: Environment variable gating the shared-memory trace store used by
+#: parallel matrices (default on; ``0``/``false``/``off`` disable).
+ENV_SHARED_TRACES = "REPRO_SHARED_TRACES"
+
+
+def shared_traces_enabled() -> bool:
+    """Should parallel matrices publish traces over shared memory?"""
+    raw = os.environ.get(ENV_SHARED_TRACES, "").strip().lower()
+    return raw not in ("0", "false", "off", "no")
+
 
 def make_policy(
     name: str,
@@ -137,6 +147,14 @@ class TraceCache:
             raise ValueError("max_entries must be positive")
         self.max_entries = max_entries
         self._cache: OrderedDict[tuple[str, int, float], Trace] = OrderedDict()
+        #: Optional :class:`repro.workloads.trace_io.TraceStore` consulted
+        #: on a miss before the disk memo (worker processes of a parallel
+        #: matrix attach the parent's published store here).
+        self.store = None
+
+    def attach_store(self, store) -> None:
+        """Serve future misses from a shared-memory trace store first."""
+        self.store = store
 
     def get(self, abbr: str, seed: int = DEFAULT_SEED, scale: float = 1.0) -> Trace:
         key = (abbr.upper(), seed, scale)
@@ -144,7 +162,10 @@ class TraceCache:
         if trace is not None:
             self._cache.move_to_end(key)
             return trace
-        trace = sim_cache.load_or_build_trace(abbr, seed, scale)
+        if self.store is not None:
+            trace = self.store.get(abbr, seed, scale)
+        if trace is None:
+            trace = sim_cache.load_or_build_trace(abbr, seed, scale)
         self._cache[key] = trace
         while len(self._cache) > self.max_entries:
             self._cache.popitem(last=False)
@@ -335,15 +356,41 @@ def resolve_jobs(jobs: Optional[int] = None) -> int:
     return jobs
 
 
+#: Worker-process memo of the attached shared trace store, keyed by the
+#: segment name so successive jobs of one matrix attach exactly once.
+_ATTACHED_STORE: Optional[tuple[str, object]] = None
+
+
+def _attach_shared_traces(handle) -> None:
+    """Attach the parent's trace store in this worker (idempotent).
+
+    Any failure to attach is silent — the worker simply builds traces
+    itself, exactly as it would with no store published.
+    """
+    global _ATTACHED_STORE
+    if _ATTACHED_STORE is not None and _ATTACHED_STORE[0] == handle.shm_name:
+        return
+    from repro.workloads.trace_io import TraceStore
+
+    store = TraceStore.attach(handle)
+    if store is None:
+        return
+    _ATTACHED_STORE = (handle.shm_name, store)
+    _TRACES.attach_store(store)
+
+
 def _run_job(job: tuple) -> SimulationResult:
     """Pool entry point: one (app, policy, rate) simulation.
 
     Lives at module level so it pickles under any multiprocessing start
-    method.  Only names and configs cross the process boundary inbound —
-    the worker builds (or disk-loads) the trace on its side — and only
-    the :class:`SimulationResult` crosses back.
+    method.  Only names, configs, and (optionally) a shared-memory trace
+    store handle cross the process boundary inbound — the worker maps
+    the parent's published traces, or builds its own when there is no
+    store — and only the :class:`SimulationResult` crosses back.
     """
-    app, policy, rate, seed, scale, config, hpe_config, observe = job
+    app, policy, rate, seed, scale, config, hpe_config, observe, handle = job
+    if handle is not None:
+        _attach_shared_traces(handle)
     # Workers observe registry-only (obs=True): an Observation carrying
     # an open JSONL handle must never cross the process boundary.  The
     # registry travels back serialised inside ``extras["metrics"]``.
@@ -603,15 +650,22 @@ def run_matrix(
                 journal_failed=journal_failed,
             )
         else:
-            _run_supervised(
-                matrix, remaining,
-                seed=seed, scale=scale, config=config,
-                hpe_config=hpe_config, observing=observing,
-                jobs=jobs, timeout=timeout, retries=retries,
-                backoff=backoff, chaos_spec=chaos_spec,
-                note=note, journal_done=journal_done,
-                journal_failed=journal_failed,
-            )
+            trace_store = _publish_traces(remaining, seed=seed, scale=scale)
+            try:
+                _run_supervised(
+                    matrix, remaining,
+                    seed=seed, scale=scale, config=config,
+                    hpe_config=hpe_config, observing=observing,
+                    jobs=jobs, timeout=timeout, retries=retries,
+                    backoff=backoff, chaos_spec=chaos_spec,
+                    trace_store=trace_store,
+                    note=note, journal_done=journal_done,
+                    journal_failed=journal_failed,
+                )
+            finally:
+                if trace_store is not None:
+                    trace_store.close()
+                    trace_store.unlink()
     except (KeyboardInterrupt, SupervisorInterrupted, _MatrixSigTerm) as exc:
         # Clean shutdown: the pool is already terminated (supervisor
         # shuts down in its finally), the journal gets its interruption
@@ -712,6 +766,26 @@ def _run_serial(
             resil_chaos.activate(previous_spec)
 
 
+def _publish_traces(keys: Sequence[RunKey], *, seed: int, scale: float):
+    """Build the distinct traces ``keys`` need and publish them over
+    shared memory; ``None`` when disabled or unavailable.
+
+    The parent pays one build (or disk load) per application — which it
+    would pay anyway for any serial cell — and every worker then maps
+    the same read-only buffer instead of regenerating its own copies.
+    """
+    if not shared_traces_enabled():
+        return None
+    from repro.workloads.trace_io import TraceStore
+
+    traces = {}
+    for key in keys:
+        cache_key = (key.app, seed, scale)
+        if cache_key not in traces:
+            traces[cache_key] = _TRACES.get(key.app, seed, scale)
+    return TraceStore.publish(traces)
+
+
 def _run_supervised(
     matrix: ResultMatrix,
     keys: Sequence[RunKey],
@@ -726,9 +800,10 @@ def _run_supervised(
     retries: Optional[int],
     backoff: Optional[float],
     chaos_spec: Optional[ChaosSpec],
-    note,
-    journal_done,
-    journal_failed,
+    trace_store=None,
+    note=None,
+    journal_done=None,
+    journal_failed=None,
 ) -> None:
     """Fan ``keys`` out over a supervised worker pool and fold results.
 
@@ -739,13 +814,14 @@ def _run_supervised(
     # The observe flag travels in the payload: a spawn-context worker
     # re-imports the world and loses any configure(enabled=True) made by
     # the CLI in this process.
+    trace_handle = trace_store.handle if trace_store is not None else None
     job_keys = {key: f"{key.app}|{key.policy}|{key.rate!r}" for key in keys}
     by_job_key = {job_keys[key]: key for key in keys}
     items = [
         (
             job_keys[key],
             (key.app, key.policy, key.rate, seed, scale, config,
-             hpe_config, observing),
+             hpe_config, observing, trace_handle),
         )
         for key in keys
     ]
@@ -796,6 +872,29 @@ def _fold_resil_metrics(matrix: ResultMatrix) -> None:
         matrix.metrics.set_gauge("resil.completed_cells", len(matrix.results))
 
 
+#: Call sites that already warned about dropped mean inputs, keyed by
+#: ``(helper, filename, lineno)``.  A figure sweeping 50 cells against a
+#: degenerate baseline would otherwise repeat the identical warning 50
+#: times, burying everything else — the *first* occurrence carries all
+#: the signal, so each call site warns once per process.
+_MEAN_WARNED: "set[tuple[str, str, int]]" = set()
+
+
+def reset_mean_warnings() -> None:
+    """Forget which call sites have warned (test isolation hook)."""
+    _MEAN_WARNED.clear()
+
+
+def _warn_mean_once(helper: str, message: str) -> None:
+    """Emit ``message`` unless this caller's call site already warned."""
+    caller = sys._getframe(2)
+    site = (helper, caller.f_code.co_filename, caller.f_lineno)
+    if site in _MEAN_WARNED:
+        return
+    _MEAN_WARNED.add(site)
+    warnings.warn(message, RuntimeWarning, stacklevel=3)
+
+
 def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
     """Geometric mean over the positive, finite values.
 
@@ -805,7 +904,8 @@ def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
     either silently could let a degenerate run *inflate* a reported
     mean, so any dropped value triggers a :class:`RuntimeWarning` — or a
     :class:`ValueError` under ``strict=True``.  (``nan > 0`` is false,
-    so the positivity filter removes NaN too.)
+    so the positivity filter removes NaN too.)  The warning fires once
+    per call site per process; see :func:`reset_mean_warnings`.
     """
     values = list(values)
     logs = [math.log(v) for v in values if v > 0]
@@ -820,7 +920,7 @@ def geometric_mean(values: Iterable[float], *, strict: bool = False) -> float:
         )
         if strict:
             raise ValueError(message)
-        warnings.warn(message, RuntimeWarning, stacklevel=2)
+        _warn_mean_once("geometric_mean", message)
     if not logs:
         return 0.0
     return math.exp(sum(logs) / len(logs))
@@ -831,15 +931,16 @@ def arithmetic_mean(values: Iterable[float]) -> float:
 
     ``nan`` entries — undefined ratios from degenerate baselines — are
     skipped with a :class:`RuntimeWarning` instead of poisoning the
-    whole mean.
+    whole mean.  The warning fires once per call site per process; see
+    :func:`reset_mean_warnings`.
     """
     values = list(values)
     kept = [v for v in values if not math.isnan(v)]
     if len(kept) != len(values):
-        warnings.warn(
+        _warn_mean_once(
+            "arithmetic_mean",
             f"arithmetic_mean: skipping {len(values) - len(kept)} NaN "
             f"value(s) out of {len(values)}",
-            RuntimeWarning, stacklevel=2,
         )
     if not kept:
         return 0.0

@@ -55,6 +55,18 @@ class EvictionPolicy(abc.ABC):
     def on_walk_hit(self, page: int) -> None:
         """The walker hit ``page``'s PTE (page is resident)."""
 
+    def on_walk_hits(self, pages: Sequence[int]) -> None:
+        """Batched equivalent of :meth:`on_walk_hit` over ``pages``.
+
+        Must be observably identical to calling :meth:`on_walk_hit` once
+        per page in order — the batch kernel relies on that equivalence.
+        Subclasses may override to hoist per-call overhead out of the
+        loop, never to change semantics.
+        """
+        on_walk_hit = self.on_walk_hit
+        for page in pages:
+            on_walk_hit(page)
+
     def on_trace_position(self, position: int) -> None:
         """Advance the global reference index (offline policies only)."""
 

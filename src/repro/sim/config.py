@@ -15,10 +15,44 @@ Two knobs are timing-model parameters with no Table I row:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field, replace
+from typing import Optional, Union
 
 from repro.tlb.tlb import TLBConfig
 from repro.uvm.pcie import PCIeLink
+
+#: Environment variable selecting the simulator inner-loop tier.
+FASTPATH_ENV = "REPRO_SIM_FASTPATH"
+
+#: Default tier: the vectorized batch kernel (with automatic fallback to
+#: the flattened v1 loop when a run is not batch-eligible).
+DEFAULT_FASTPATH_LEVEL = 2
+
+
+def resolve_fastpath_level(fast: Optional[Union[bool, int]] = None) -> int:
+    """Resolve the requested fastpath tier to an integer level.
+
+    Levels: ``0`` — reference loop; ``1`` — flattened v1 loop; ``2`` —
+    vectorized batch kernel (v2) with per-run eligibility fallback to
+    v1.  ``fast`` may be ``None`` (consult :data:`FASTPATH_ENV`, default
+    :data:`DEFAULT_FASTPATH_LEVEL`), a bool (the historical ``fast=``
+    argument: ``True`` → default tier, ``False`` → reference), or an
+    explicit level.  Out-of-range values clamp into ``[0, 2]``.
+    """
+    if fast is None:
+        raw = os.environ.get(FASTPATH_ENV, "")
+        if not raw.strip():
+            return DEFAULT_FASTPATH_LEVEL
+        try:
+            level = int(raw)
+        except ValueError:
+            return DEFAULT_FASTPATH_LEVEL
+    elif isinstance(fast, bool):
+        level = DEFAULT_FASTPATH_LEVEL if fast else 0
+    else:
+        level = int(fast)
+    return max(0, min(2, level))
 
 
 @dataclass(frozen=True)

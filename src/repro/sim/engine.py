@@ -23,7 +23,6 @@ lose exactly through the evictions they cause.
 
 from __future__ import annotations
 
-import os
 import time
 from typing import TYPE_CHECKING, Optional, Sequence
 
@@ -32,7 +31,7 @@ from repro.check.invariants import InvariantChecker
 from repro.memory.frames import FramePool
 from repro.memory.page_table import PageTable
 from repro.policies.base import EvictionPolicy
-from repro.sim.config import GPUConfig
+from repro.sim.config import GPUConfig, resolve_fastpath_level
 from repro.sim.results import SimulationResult
 from repro.tlb.hierarchy import TLBHierarchy, TranslationLevel
 from repro.tlb.walker import PageTableWalker
@@ -103,14 +102,17 @@ class UVMSimulator:
     ) -> SimulationResult:
         """Replay ``trace`` and return the collected metrics.
 
-        Two equivalent inner loops exist: the flattened fast path
-        (default) and the straightforward reference loop.  They produce
-        bit-identical results — the test suite cross-checks them — and
-        ``fast=False`` or ``REPRO_SIM_FASTPATH=0`` selects the reference
-        loop for debugging.
+        Three equivalent inner loops exist: the vectorized batch kernel
+        (tier 2, the default), the flattened v1 loop (tier 1), and the
+        straightforward reference loop (tier 0).  They produce
+        bit-identical results — ``tests/diff`` cross-checks them — and
+        ``fast=False`` / ``REPRO_SIM_FASTPATH=0`` selects the reference
+        loop for debugging, ``REPRO_SIM_FASTPATH=1`` the v1 loop.  Runs
+        the batch kernel cannot replay bit-identically (observed,
+        sanitized, offline policies, prefetching) silently fall back
+        from tier 2 to tier 1.
         """
-        if fast is None:
-            fast = os.environ.get("REPRO_SIM_FASTPATH", "1") != "0"
+        level = resolve_fastpath_level(fast)
         if self.policy.requires_future:
             self.policy.prime_future(trace)
         obs = self.obs
@@ -126,7 +128,14 @@ class UVMSimulator:
                 trace_length=len(trace),
             )
         started = time.monotonic()
-        if fast:
+        if level >= 2:
+            from repro.sim import fastpath2
+
+            if fastpath2.eligible(self):
+                cycles = fastpath2.replay(self, trace)
+            else:
+                cycles = self._replay_fast(trace)
+        elif level == 1:
             cycles = self._replay_fast(trace)
         else:
             cycles = self._replay_reference(trace)

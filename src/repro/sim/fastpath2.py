@@ -1,0 +1,1352 @@
+"""Fastpath v2 — the vectorized fault-batch replay kernel.
+
+The v1 fast path (:meth:`repro.sim.engine.UVMSimulator._replay_fast`)
+flattens the per-event dispatch but still touches every trace event in
+Python.  This kernel consumes the trace in **segments** — maximal
+prefixes of pairwise-distinct pages — and resolves each segment's common
+case with numpy array operations, dropping to scalar code only at
+*events*: capacity evictions, HIR transfers (every 16th fault), HPE
+interval boundaries (every 64th fault), and classification triggers.
+All of those fire inside policy callbacks that the kernel invokes in
+exact reference order, so ``key_metrics()`` stays **bit-identical** to
+the reference oracle (the ``tests/diff`` harness proves it).
+
+Why a distinct-page segment can be batched
+------------------------------------------
+
+Within a segment no page repeats, so each event is the *first* touch of
+its page since the segment began.  That yields three static classes,
+computed once per segment from the residency map and an exact
+**presence map** (page → bitmask of the TLB structures holding it,
+maintained at every fill, LRU eviction, and shootdown):
+
+``hit``
+    Resident and absent from the issuing SM's L1 TLB and the shared L2
+    TLB → the event is exactly ``L1 miss, L2 miss, walk hit``.  Runs of
+    hits are replayed with one batched policy callback, a tight PTE
+    loop, deferred TLB fills, and closed-form vector timing.
+``fault``
+    Non-resident and TLB-absent → ``L1 miss, L2 miss, walk fault``.
+    Runs of faults with free frames and untouched pages batch the frame
+    allocation and the PCIe queue timing; evicting faults run through an
+    inlined scalar chain whose victim shootdown consults the presence
+    mask (deleting only from the structures that actually hold the
+    victim, with the same live per-TLB shootdown counts).
+``flagged``
+    Present in some TLB at segment start and not provably evicted by
+    later pressure → replayed through the exact v1 scalar body (after
+    flushing deferred fills), which probes reality.
+
+Mid-segment **evictions** are the only way a classification can change:
+the victim stops being resident and (after the shootdown) is guaranteed
+TLB-absent, so its future position — pages occur once per segment —
+becomes a guaranteed fault.  The kernel *flips* that position into the
+fault class via a heap; batching therefore never reorders an eviction
+(DESIGN.md §9 develops the argument).  A shootdown can also invalidate
+a pressure-based unflag, but only when it removes an entry from the
+very set whose guaranteed-insert count justified it — the kernel tracks
+the last pressure-unflagged position per set and degrades the segment
+remainder to the scalar loop only on such a conflicting removal.
+
+Deferred TLB fills are sound because between two flushes the affected
+sets receive only inserts of distinct absent pages (every fault event
+flushes first, so shootdowns always see flushed state), so the final
+set contents and the eviction count have the closed form
+:meth:`repro.tlb.tlb.TLB.apply_batched_misses` implements.
+
+Fallbacks
+---------
+
+Observed (``--obs``) and sanitized (``--sanitize``) runs need live
+per-event state (event emission mid-fault, invariant sweeps against
+un-deferred TLB contents), as do offline policies (``ideal``) and
+fault-around prefetching — :func:`eligible` routes those to the v1
+loop, which is bit-identical by PR 1's equivalence suite.  Everything
+here is behaviour-preserving *speed*, never behaviour.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import TYPE_CHECKING, Any, Optional, Sequence
+
+from repro.memory.page_table import PageTableEntry
+from repro.policies.base import EvictionPolicy
+from repro.policies.lru import LRUPolicy
+from repro.tlb.tlb import TLB
+
+if TYPE_CHECKING:
+    from repro.sim.engine import UVMSimulator
+
+try:  # numpy is optional at runtime (test extra); gate, don't require.
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised via eligible()
+    np = None  # type: ignore[assignment]
+
+#: Hard cap on one segment's length (bounds per-segment numpy scratch).
+SEGMENT_CAP = 8192
+
+#: Distinct-page prefixes shorter than this are replayed scalar — the
+#: per-segment classification overhead would not amortize.
+MIN_SEGMENT = 256
+
+#: Events replayed by the scalar-generic loop when segmentation fails
+#: (adversarial duplicate-heavy traces) before re-trying segmentation.
+SCALAR_CHUNK = 256
+
+#: Minimum consecutive free-frame faults worth batch-allocating.
+MIN_FREE_RUN = 8
+
+#: Below this many pending TLB fills, a flush replays plain sequential
+#: inserts instead of numpy set-grouping (eviction chains flush after
+#: every fault, with one or two fills pending).
+SMALL_FLUSH = 32
+
+#: Skip the pressure-refinement pass when a level has more sets than
+#: this (the per-set cumsum sweep would dominate); candidates then stay
+#: flagged, which is always sound.
+MAX_REFINE_KEYS = 64
+
+
+#: When set to a dict (tests / perf triage), :func:`replay` tallies how
+#: many events each internal path handled — keys ``hit_run_events``,
+#: ``hit_runs``, ``free_run_events``, ``fault_events``,
+#: ``flagged_events``, ``scalar_events``, ``flushes``, ``segments``.
+DEBUG_COUNTS: Optional[dict[str, int]] = None
+
+
+def numpy_available() -> bool:
+    """``True`` when the vector kernel's numpy dependency is importable."""
+    return np is not None
+
+
+def eligible(sim: "UVMSimulator") -> bool:
+    """Can ``sim`` run the batch kernel bit-identically?
+
+    Observation and sanitizing need live per-event state, offline
+    policies consume per-event trace positions, and fault-around
+    prefetching migrates pages the segment classifier cannot see —
+    those runs take the (bit-identical) v1 loop instead.
+    """
+    return (
+        np is not None
+        and sim.obs is None
+        and sim.checker is None
+        and not sim.policy.requires_future
+        and sim.driver.prefetch_degree == 0
+    )
+
+
+def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
+    """Replay ``trace`` on ``sim`` with the batch kernel; return cycles.
+
+    Caller must have checked :func:`eligible`.  Mutates the simulator's
+    structures (TLBs, page table, frame pool, policy, stats) exactly as
+    the reference loop would.
+    """
+    assert np is not None
+    config = sim.config
+    num_sms = config.num_sms
+    total_warps = config.total_warps
+    warps_per_sm = config.warps_per_sm
+    mem_latency = config.memory_latency_cycles
+    pcie = config.pcie
+    fault_cycles = pcie.fault_service_cycles
+    transfer_cycles = pcie.transfer_cycles
+    policy = sim.policy
+    consume_bytes = getattr(policy, "consume_transfer_bytes", None)
+    policy_on_fault_pending = policy.on_fault_pending
+    policy_on_page_in = policy.on_page_in
+    policy_select_victim = policy.select_victim
+    # A base-class on_fault_pending is a documented no-op — skip the
+    # call entirely on the chain path when the policy never overrode it.
+    has_pending_cb = (
+        policy.on_fault_pending.__func__  # type: ignore[attr-defined]
+        is not EvictionPolicy.on_fault_pending
+    )
+    # Exact-type check: subclasses could override any hook, so only the
+    # stock LRU policy gets its chain updates inlined.
+    lru_chain = policy._chain if type(policy) is LRUPolicy else None
+    driver = sim.driver
+    stats = driver.stats
+    ever_touched, page_size = driver.fastpath_state()
+    frame_pool = sim.frame_pool
+    fop = frame_pool._frame_of_page
+    pof = frame_pool._page_of_frame
+    free_list = frame_pool._free
+    pt_entries = sim.page_table._entries
+    hierarchy = sim.hierarchy
+
+    l1_states = [tlb.fastpath_state() for tlb in hierarchy.l1_tlbs]
+    l1_sets = [state[0] for state in l1_states]
+    l1_mask = l1_states[0][1]
+    l1_assoc = l1_states[0][2]
+    l1_latency = l1_states[0][3]
+    l2_sets, l2_mask, l2_assoc, l2_latency = \
+        hierarchy.l2_tlb.fastpath_state()
+    l1_nsets = l1_mask + 1
+    l2_nsets = l2_mask + 1
+    l1_stats = [tlb.stats for tlb in hierarchy.l1_tlbs]
+    l2_stats = hierarchy.l2_tlb.stats
+    walker = sim.walker
+    walk_latency = walker.walk_latency_cycles
+    l1_hit_total = l1_latency + mem_latency
+    l2_hit_total = l1_latency + l2_latency + mem_latency
+    walk_hit_total = l1_latency + l2_latency + walk_latency + mem_latency
+    fault_begin_latency = l1_latency + l2_latency + walk_latency
+    listeners = walker._hit_listeners
+    # Batched walk-hit dispatch: when the policy's own on_walk_hit is the
+    # only subscriber, hit runs go through policy.on_walk_hits (HPE's
+    # override feeds the HIR in one pass); otherwise the generic
+    # listener loop preserves arbitrary subscriber lists.
+    if not listeners:
+        hit_dispatch = 0
+    elif len(listeners) == 1 and listeners[0] == policy.on_walk_hit:
+        hit_dispatch = 1
+    else:
+        hit_dispatch = 2
+    on_walk_hits = policy.on_walk_hits
+
+    pages_arr = np.asarray(trace, dtype=np.int64)
+    n = int(pages_arr.shape[0])
+
+    # Previous-occurrence index: prev_arr[j] is the latest i < j with
+    # pages[i] == pages[j], or -1.  One stable argsort for the whole
+    # trace makes every later distinct-prefix query a single slice scan.
+    prev_arr = np.full(n, -1, dtype=np.int64)
+    if n > 1:
+        order = np.argsort(pages_arr, kind="stable")
+        sorted_pages = pages_arr[order]
+        same = sorted_pages[1:] == sorted_pages[:-1]
+        prev_arr[order[1:][same]] = order[:-1][same]
+
+    # --- mutable replay state (shared by the nested helpers) -----------
+    sm_issue = [0] * num_sms
+    warp_ready = [0] * total_warps
+    fq = 0  # fault_queue_free
+    transfer_memo: dict[int, int] = {}
+
+    l1_hits_b = [0] * num_sms
+    l1_misses_b = [0] * num_sms
+    l1_ev_b = [0] * num_sms
+    l2_hits_b = 0
+    l2_misses_b = 0
+    l2_ev_b = 0
+    walks_b = 0
+    whits_b = 0
+    wfaults_b = 0
+    fault_no = stats.faults  # absolute fault sequence number
+    d_comp = 0
+    d_cap = 0
+    d_evict = 0
+    d_bin = 0
+    d_bout = 0
+
+    # Deferred TLB fills: every fill appends (page, frame) for the L2
+    # and for the issuing SM's L1; flushed before any real TLB probe.
+    pend_l2_p: list[int] = []
+    pend_l2_f: list[int] = []
+    pend_l1_p: list[list[int]] = [[] for _ in range(num_sms)]
+    pend_l1_f: list[list[int]] = [[] for _ in range(num_sms)]
+
+    # Exact TLB-presence map: page -> bitmask with bit ``s`` set while
+    # SM ``s``'s L1 holds the page and ``l2bit`` set while the L2 does.
+    # Updated at every fill, LRU eviction, and shootdown (deferred fills
+    # land at flush time; every path that reads the map flushes first),
+    # so one dict probe classifies a page and one pop drives a shootdown
+    # that touches only the structures actually holding the victim.
+    l2bit = 1 << num_sms
+    not_l2 = ~l2bit
+    sm_bits = [1 << s for s in range(num_sms)]
+    sm_nbits = [~(1 << s) for s in range(num_sms)]
+    presence: dict[int, int] = {}
+    for s in range(num_sms):
+        bit = sm_bits[s]
+        for entries_d in l1_sets[s]:
+            for p in entries_d:
+                presence[p] = presence.get(p, 0) | bit
+    for entries_d in l2_sets:
+        for p in entries_d:
+            presence[p] = presence.get(p, 0) | l2bit
+    presence_get = presence.get
+    presence_pop = presence.pop
+
+    # Per-segment registries of the last pressure-unflagged position in
+    # each set (cleared by process_segment); a shootdown that removes an
+    # entry from one of these sets before that position invalidates the
+    # pressure proof and degrades the segment remainder.
+    fr1_max: dict[int, int] = {}
+    fr2_max: dict[int, int] = {}
+
+    apply_batched = TLB.apply_batched_misses
+    dbg = DEBUG_COUNTS
+
+    def flush_pending() -> None:
+        """Apply every deferred TLB fill, counting LRU evictions."""
+        nonlocal l2_ev_b
+        count = len(pend_l2_p)
+        if not count:
+            return
+        if dbg is not None:
+            dbg["flushes"] = dbg.get("flushes", 0) + 1
+        if count <= SMALL_FLUSH:
+            # Sequential replay — exact by construction.
+            for p, f in zip(pend_l2_p, pend_l2_f):
+                entries = l2_sets[p & l2_mask]
+                if len(entries) >= l2_assoc:
+                    old, _ = entries.popitem(last=False)
+                    l2_ev_b += 1
+                    om = presence[old] & not_l2
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                entries[p] = f
+                presence[p] = presence_get(p, 0) | l2bit
+            pend_l2_p.clear()
+            pend_l2_f.clear()
+            for s in range(num_sms):
+                ps_l = pend_l1_p[s]
+                if not ps_l:
+                    continue
+                fs_l = pend_l1_f[s]
+                sets_s = l1_sets[s]
+                bit = sm_bits[s]
+                nbit = sm_nbits[s]
+                evs = 0
+                for p, f in zip(ps_l, fs_l):
+                    entries = sets_s[p & l1_mask]
+                    if len(entries) >= l1_assoc:
+                        old, _ = entries.popitem(last=False)
+                        evs += 1
+                        om = presence[old] & nbit
+                        if om:
+                            presence[old] = om
+                        else:
+                            del presence[old]
+                    entries[p] = f
+                    presence[p] = presence_get(p, 0) | bit
+                l1_ev_b[s] += evs
+                ps_l.clear()
+                fs_l.clear()
+            return
+        # Presence fixup rule: clear the evictees' bits first, then set
+        # the bit for every fill that actually survived in its set.  A
+        # page can appear in BOTH lists — a pressure-unflagged page that
+        # was still in the set when the batch cleared it and whose own
+        # fill then survived in the tail — and ends present, which the
+        # membership probe gets right where any fixed order would not.
+        # Batch-head evictees may never have had their bit set, hence
+        # the get-guard.
+        evicted: list[int] = []
+        if l2_nsets == 1:
+            l2_ev_b += apply_batched(l2_sets[0], pend_l2_p, pend_l2_f,
+                                     l2_assoc, evicted)
+        else:
+            l2_ev_b += _grouped_apply(l2_sets, l2_mask, l2_assoc,
+                                      pend_l2_p, pend_l2_f, evicted)
+        for old in evicted:
+            om = presence_get(old)
+            if om is None:
+                continue
+            om &= not_l2
+            if om:
+                presence[old] = om
+            else:
+                del presence[old]
+        for p in pend_l2_p:
+            if p in l2_sets[p & l2_mask]:
+                presence[p] = presence_get(p, 0) | l2bit
+        pend_l2_p.clear()
+        pend_l2_f.clear()
+        for s in range(num_sms):
+            ps_l = pend_l1_p[s]
+            if not ps_l:
+                continue
+            fs_l = pend_l1_f[s]
+            evicted.clear()
+            if l1_nsets == 1:
+                l1_ev_b[s] += apply_batched(l1_sets[s][0], ps_l, fs_l,
+                                            l1_assoc, evicted)
+            else:
+                l1_ev_b[s] += _grouped_apply(l1_sets[s], l1_mask, l1_assoc,
+                                             ps_l, fs_l, evicted)
+            bit = sm_bits[s]
+            nbit = sm_nbits[s]
+            sets_s = l1_sets[s]
+            for old in evicted:
+                om = presence_get(old)
+                if om is None:
+                    continue
+                om &= nbit
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            for p in ps_l:
+                if p in sets_s[p & l1_mask]:
+                    presence[p] = presence_get(p, 0) | bit
+            ps_l.clear()
+            fs_l.clear()
+
+    def _grouped_apply(
+        sets_list: list[Any],
+        mask: int,
+        assoc: int,
+        ps_l: list[int],
+        fs_l: list[int],
+        evicted: list[int],
+    ) -> int:
+        """Group pending fills by set index, apply each group batched."""
+        pa = np.array(ps_l, dtype=np.int64)
+        fa = np.array(fs_l, dtype=np.int64)
+        sid = pa & mask
+        order = np.argsort(sid, kind="stable")
+        pl = pa[order].tolist()
+        fl = fa[order].tolist()
+        sid_s = sid[order]
+        bounds = (np.flatnonzero(sid_s[1:] != sid_s[:-1]) + 1).tolist()
+        bounds.append(len(pl))
+        evictions = 0
+        start = 0
+        for stop in bounds:
+            if stop == start:
+                continue
+            entries = sets_list[pl[start] & mask]
+            evictions += apply_batched(entries, pl[start:stop],
+                                       fl[start:stop], assoc, evicted)
+            start = stop
+        return evictions
+
+    def shoot(victim: int) -> int:
+        """Masked TLB shootdown for ``victim``; return the removal mask.
+
+        Exactly :meth:`repro.tlb.hierarchy.TLBHierarchy.shootdown` — the
+        same per-TLB live ``shootdowns`` counts — but driven by the
+        presence map, so only the structures holding the victim pay a
+        dict deletion and an absent victim costs one failed probe.
+        Caller must have flushed pending fills.
+        """
+        mm = presence_pop(victim, 0)
+        if not mm:
+            return 0
+        full = mm
+        if mm & l2bit:
+            del l2_sets[victim & l2_mask][victim]
+            l2_stats.shootdowns += 1
+            mm &= not_l2
+        while mm:
+            b = mm & -mm
+            s2 = b.bit_length() - 1
+            del l1_sets[s2][victim & l1_mask][victim]
+            l1_stats[s2].shootdowns += 1
+            mm ^= b
+        return full
+
+    def shoot_degrades(mask: int, victim: int, t: int) -> bool:
+        """Did this shootdown invalidate a later pressure-unflag?
+
+        True when the removal hit a set whose guaranteed-insert count
+        justified unflagging a position after ``t`` — the only case
+        where batch classification can diverge from reality.
+        """
+        if not mask:
+            return False
+        if (
+            fr2_max
+            and mask & l2bit
+            and fr2_max.get(victim & l2_mask, -1) > t
+        ):
+            return True
+        if fr1_max:
+            mm = mask & (l2bit - 1)
+            vset = victim & l1_mask
+            while mm:
+                b = mm & -mm
+                s2 = b.bit_length() - 1
+                if fr1_max.get(s2 * l1_nsets + vset, -1) > t:
+                    return True
+                mm ^= b
+        return False
+
+    def lean_fault(page: int) -> tuple[int, Optional[int], int, int]:
+        """Service one fault sans TLB fill; return (frame, victim,
+        shootdown-removal mask, bytes moved).
+
+        Inlines ``UVMDriver.service_fault`` for the obs-free,
+        checker-free, prefetch-free configuration this kernel accepts,
+        with two changes: driver counters accumulate in kernel locals
+        (folded at the end) and the victim's TLB shootdown goes through
+        the presence-masked :func:`shoot`.
+        """
+        nonlocal fault_no, d_comp, d_cap, d_evict, d_bin, d_bout
+        if pend_l2_p:
+            flush_pending()
+        fault_no += 1
+        if page in ever_touched:
+            d_cap += 1
+        else:
+            ever_touched.add(page)
+            d_comp += 1
+        policy_on_fault_pending(page)
+        victim: Optional[int] = None
+        rm_mask = 0
+        if not free_list:
+            victim = policy_select_victim()
+            # Inlined page_table.invalidate (same exception contract).
+            ve = pt_entries.get(victim)
+            if ve is None or not ve.valid:
+                raise KeyError(f"page {victim:#x} has no valid mapping")
+            ve.valid = False
+            # Inlined frame_pool.unmap_page.
+            try:
+                vframe = fop.pop(victim)
+            except KeyError:
+                raise KeyError(
+                    f"page {victim:#x} is not resident"
+                ) from None
+            del pof[vframe]
+            free_list.append(vframe)
+            rm_mask = shoot(victim)
+            d_evict += 1
+            d_bout += page_size
+        # Inlined frame_pool.map_page + page_table.install.
+        frame = free_list.pop()
+        fop[page] = frame
+        pof[frame] = page
+        pt_entries[page] = PageTableEntry(frame=frame, faulted_at=fault_no)
+        d_bin += page_size
+        policy_on_page_in(page, fault_no)
+        moved = page_size if victim is None else page_size + page_size
+        return frame, victim, rm_mask, moved
+
+    def distribute_l1_misses(g: int, m: int) -> None:
+        """Per-SM L1 miss counts for events ``g .. g+m`` (round-robin)."""
+        full, rem = divmod(m, num_sms)
+        if full:
+            for s in range(num_sms):
+                l1_misses_b[s] += full
+        for d in range(rem):
+            l1_misses_b[(g + d) % num_sms] += 1
+
+    def vector_hit_timing(g: int, m: int) -> None:
+        """Advance the clock over ``m`` consecutive walk-hit events.
+
+        Events issue round-robin over warps; within one block of
+        ``total_warps`` events, column ``d`` of the ``(W, S)`` reshape is
+        one SM's in-order issue stream, so the per-SM recurrence
+        ``X[k] = max(X[k-1] + 1, ready[k])`` collapses to a running
+        maximum of ``ready[k] - k``.  Once a block satisfies
+        ``X_b == X_{b-1} + L`` the recurrence is a fixed point (each
+        block shifts by exactly the hit latency), so the remaining
+        blocks are extrapolated in O(1).
+        """
+        latency = walk_hit_total
+        full = m // total_warps if m >= total_warps else 0
+        if full:
+            wr = np.array(warp_ready, dtype=np.int64)
+            warp_mat = ((g + np.arange(total_warps, dtype=np.int64))
+                        % total_warps).reshape(warps_per_sm, num_sms)
+            karr = np.arange(warps_per_sm, dtype=np.int64).reshape(-1, 1)
+            issue0 = np.array(
+                [sm_issue[(g + d) % num_sms] for d in range(num_sms)],
+                dtype=np.int64,
+            )
+            x_prev: Any = None
+            b = 0
+            while b < full:
+                ready = wr[warp_mat] if x_prev is None else x_prev + latency
+                bmat = ready - karr
+                np.maximum(bmat[0], issue0, out=bmat[0])
+                x = np.maximum.accumulate(bmat, axis=0)
+                x += karr
+                issue0 = x[-1] + 1
+                b += 1
+                if (
+                    b < full
+                    and x_prev is not None
+                    and np.array_equal(x, x_prev + latency)
+                ):
+                    jump = full - b
+                    x = x + jump * latency
+                    issue0 = x[-1] + 1
+                    b = full
+                x_prev = x
+            wr[warp_mat] = x_prev + latency
+            warp_ready[:] = wr.tolist()
+            for d in range(num_sms):
+                sm_issue[(g + d) % num_sms] = int(issue0[d])
+            g += full * total_warps
+            m -= full * total_warps
+        for j in range(m):
+            gg = g + j
+            w = gg % total_warps
+            s = gg % num_sms
+            start = sm_issue[s]
+            ready_w = warp_ready[w]
+            if ready_w > start:
+                start = ready_w
+            sm_issue[s] = start + 1
+            warp_ready[w] = start + latency
+
+    def vector_fault_timing(g: int, services: list[int]) -> None:
+        """Advance the clock over consecutive fault events.
+
+        Fault service serializes through the single fault queue:
+        ``fq[c] = max(begin[c], fq[c-1]) + svc[c]``, which expands to a
+        prefix maximum of ``begin[c] - cum_svc[c-1]`` — one
+        ``np.maximum.accumulate`` per block.
+        """
+        nonlocal fq
+        m = len(services)
+        full, tail = divmod(m, total_warps)
+        if full:
+            sv_all = np.array(services[:full * total_warps], dtype=np.int64)
+            wr = np.array(warp_ready, dtype=np.int64)
+            warp_mat = ((g + np.arange(total_warps, dtype=np.int64))
+                        % total_warps).reshape(warps_per_sm, num_sms)
+            karr = np.arange(warps_per_sm, dtype=np.int64).reshape(-1, 1)
+            issue0 = np.array(
+                [sm_issue[(g + d) % num_sms] for d in range(num_sms)],
+                dtype=np.int64,
+            )
+            fq_mat: Any = None
+            for b in range(full):
+                ready = wr[warp_mat] if fq_mat is None else fq_mat
+                bmat = ready - karr
+                np.maximum(bmat[0], issue0, out=bmat[0])
+                x = np.maximum.accumulate(bmat, axis=0)
+                x += karr
+                issue0 = x[-1] + 1
+                begin = x.ravel() + fault_begin_latency
+                sv = sv_all[b * total_warps:(b + 1) * total_warps]
+                cum = np.cumsum(sv)
+                avec = begin - cum + sv
+                np.maximum.accumulate(avec, out=avec)
+                fqv = np.maximum(avec, fq) + cum
+                fq = int(fqv[-1])
+                fq_mat = fqv.reshape(warps_per_sm, num_sms)
+            wr[warp_mat] = fq_mat
+            warp_ready[:] = wr.tolist()
+            for d in range(num_sms):
+                sm_issue[(g + d) % num_sms] = int(issue0[d])
+            g += full * total_warps
+        for j in range(tail):
+            svc = services[full * total_warps + j]
+            gg = g + j
+            w = gg % total_warps
+            s = gg % num_sms
+            start = sm_issue[s]
+            ready_w = warp_ready[w]
+            if ready_w > start:
+                start = ready_w
+            sm_issue[s] = start + 1
+            begin_t = start + fault_begin_latency
+            if fq > begin_t:
+                begin_t = fq
+            fq = begin_t + svc
+            warp_ready[w] = fq
+
+    def run_hits(g: int, pages_run: list[int]) -> None:
+        """Replay a run of classified walk-hit events starting at ``g``."""
+        nonlocal l2_misses_b, walks_b, whits_b
+        m = len(pages_run)
+        if dbg is not None:
+            dbg["hit_runs"] = dbg.get("hit_runs", 0) + 1
+            dbg["hit_run_events"] = dbg.get("hit_run_events", 0) + m
+        frames: list[int] = []
+        ap = frames.append
+        if hit_dispatch == 1:
+            on_walk_hits(pages_run)
+            for p in pages_run:
+                e = pt_entries[p]
+                e.walk_hits += 1
+                ap(e.frame)
+        elif hit_dispatch == 0:
+            for p in pages_run:
+                e = pt_entries[p]
+                e.walk_hits += 1
+                ap(e.frame)
+        else:
+            for p in pages_run:
+                e = pt_entries[p]
+                e.walk_hits += 1
+                for listener in listeners:
+                    listener(p)
+                ap(e.frame)
+        l2_misses_b += m
+        walks_b += m
+        whits_b += m
+        distribute_l1_misses(g, m)
+        pend_l2_p.extend(pages_run)
+        pend_l2_f.extend(frames)
+        for s in range(num_sms):
+            idx0 = (s - g) % num_sms
+            if idx0 < m:
+                pend_l1_p[s].extend(pages_run[idx0::num_sms])
+                pend_l1_f[s].extend(frames[idx0::num_sms])
+        vector_hit_timing(g, m)
+
+    def free_fault_run(g: int, pages_run: list[int]) -> None:
+        """Replay consecutive compulsory faults onto free frames.
+
+        Caller guarantees: no page previously touched, enough free
+        frames for the whole run → no evictions, no capacity faults.
+        """
+        nonlocal d_comp, d_bin, fault_no, l2_misses_b, walks_b, wfaults_b
+        m = len(pages_run)
+        if dbg is not None:
+            dbg["free_run_events"] = dbg.get("free_run_events", 0) + m
+        # Free frames pop from the tail; slice + reverse replicates the
+        # per-fault pop order.
+        frames = free_list[-m:][::-1]
+        del free_list[-m:]
+        base_service = transfer_memo.get(page_size)
+        if base_service is None:
+            base_service = fault_cycles + transfer_cycles(page_size)
+            transfer_memo[page_size] = base_service
+        fno = fault_no
+        services: list[int]
+        if consume_bytes is None and not has_pending_cb:
+            services = [base_service] * m
+            if lru_chain is not None:
+                for j, p in enumerate(pages_run):
+                    fno += 1
+                    f = frames[j]
+                    fop[p] = f
+                    pof[f] = p
+                    pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
+                    lru_chain[p] = None
+            else:
+                for j, p in enumerate(pages_run):
+                    fno += 1
+                    f = frames[j]
+                    fop[p] = f
+                    pof[f] = p
+                    pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
+                    policy_on_page_in(p, fno)
+        else:
+            services = []
+            sap = services.append
+            for j, p in enumerate(pages_run):
+                fno += 1
+                if has_pending_cb:
+                    policy_on_fault_pending(p)
+                f = frames[j]
+                fop[p] = f
+                pof[f] = p
+                pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
+                policy_on_page_in(p, fno)
+                svc = base_service
+                if consume_bytes is not None:
+                    extra = consume_bytes()
+                    if extra:
+                        svc += transfer_cycles(extra)
+                sap(svc)
+        fault_no = fno
+        ever_touched.update(pages_run)
+        d_comp += m
+        d_bin += m * page_size
+        l2_misses_b += m
+        walks_b += m
+        wfaults_b += m
+        distribute_l1_misses(g, m)
+        pend_l2_p.extend(pages_run)
+        pend_l2_f.extend(frames)
+        for s in range(num_sms):
+            idx0 = (s - g) % num_sms
+            if idx0 < m:
+                pend_l1_p[s].extend(pages_run[idx0::num_sms])
+                pend_l1_f[s].extend(frames[idx0::num_sms])
+        vector_fault_timing(g, services)
+
+    def scalar_generic(i0: int, count: int) -> None:
+        """Exact v1 loop body over ``trace[i0:i0+count]``.
+
+        Always sound: probes the live TLB dictionaries (after flushing
+        deferred fills) and fills them eagerly.  Used for short or
+        duplicate-heavy stretches and for degraded segment remainders.
+        """
+        nonlocal l2_hits_b, l2_misses_b, l2_ev_b
+        nonlocal walks_b, whits_b, wfaults_b, fq
+        if dbg is not None:
+            dbg["scalar_events"] = dbg.get("scalar_events", 0) + count
+        flush_pending()
+        g = i0
+        for page in pages_arr[i0:i0 + count].tolist():
+            w = g % total_warps
+            s = g % num_sms
+            g += 1
+            start = sm_issue[s]
+            ready_w = warp_ready[w]
+            if ready_w > start:
+                start = ready_w
+            sm_issue[s] = start + 1
+
+            entries = l1_sets[s][page & l1_mask]
+            if page in entries:
+                entries.move_to_end(page)
+                l1_hits_b[s] += 1
+                warp_ready[w] = start + l1_hit_total
+                continue
+            l1_misses_b[s] += 1
+
+            l2_entries = l2_sets[page & l2_mask]
+            if page in l2_entries:
+                l2_entries.move_to_end(page)
+                l2_hits_b += 1
+                if len(entries) >= l1_assoc:
+                    old, _ = entries.popitem(last=False)
+                    l1_ev_b[s] += 1
+                    om = presence[old] & sm_nbits[s]
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                entries[page] = 0
+                presence[page] |= sm_bits[s]
+                warp_ready[w] = start + l2_hit_total
+                continue
+            l2_misses_b += 1
+
+            walks_b += 1
+            pte = pt_entries.get(page)
+            if pte is not None and pte.valid:
+                whits_b += 1
+                pte.walk_hits += 1
+                for listener in listeners:
+                    listener(page)
+                frame = pte.frame
+                if len(entries) >= l1_assoc:
+                    old, _ = entries.popitem(last=False)
+                    l1_ev_b[s] += 1
+                    om = presence[old] & sm_nbits[s]
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                entries[page] = frame
+                if len(l2_entries) >= l2_assoc:
+                    old, _ = l2_entries.popitem(last=False)
+                    l2_ev_b += 1
+                    om = presence[old] & not_l2
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                l2_entries[page] = frame
+                presence[page] = presence_get(page, 0) | sm_bits[s] | l2bit
+                warp_ready[w] = start + walk_hit_total
+                continue
+
+            wfaults_b += 1
+            frame, _victim, _rm, moved = lean_fault(page)
+            service = transfer_memo.get(moved)
+            if service is None:
+                service = fault_cycles + transfer_cycles(moved)
+                transfer_memo[moved] = service
+            if len(entries) >= l1_assoc:
+                old, _ = entries.popitem(last=False)
+                l1_ev_b[s] += 1
+                om = presence[old] & sm_nbits[s]
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            entries[page] = frame
+            if len(l2_entries) >= l2_assoc:
+                old, _ = l2_entries.popitem(last=False)
+                l2_ev_b += 1
+                om = presence[old] & not_l2
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            l2_entries[page] = frame
+            # A faulting page was non-resident, hence in no TLB.
+            presence[page] = sm_bits[s] | l2bit
+            if consume_bytes is not None:
+                extra = consume_bytes()
+                if extra:
+                    service += transfer_cycles(extra)
+            begin = start + fault_begin_latency
+            if fq > begin:
+                begin = fq
+            fq = begin + service
+            warp_ready[w] = fq
+
+    def find_segment(i0: int) -> int:
+        """Length of the longest distinct-page prefix at ``i0`` (capped)."""
+        end = i0 + SEGMENT_CAP
+        if end > n:
+            end = n
+        rep = np.flatnonzero(prev_arr[i0 + 1:end] >= i0)
+        if rep.size:
+            return int(rep[0]) + 1
+        return end - i0
+
+    def process_segment(g0: int, seg_len: int, depth: int = 0) -> None:
+        """Replay one distinct-page segment with batch classification.
+
+        ``depth`` counts degrade-and-reclassify recursions; past a fixed
+        bound the remainder is replayed scalar instead (an adversarial
+        trace could otherwise degrade every few events and overflow the
+        interpreter stack).
+        """
+        if dbg is not None:
+            dbg["segments"] = dbg.get("segments", 0) + 1
+        nonlocal l2_hits_b, l2_misses_b, l2_ev_b
+        nonlocal walks_b, whits_b, wfaults_b, fq
+        nonlocal fault_no, d_comp, d_cap, d_evict, d_bin, d_bout
+        seg = pages_arr[g0:g0 + seg_len]
+        seg_list = seg.tolist()
+        flush_pending()
+
+        # --- residency + TLB-presence classification ------------------
+        # One python pass over the segment replaces the per-structure
+        # np.isin sweeps: residency is a frame-map probe, TLB presence
+        # one presence-map probe, and the issuing level falls out of the
+        # mask bits.  Only *own* presence — the issuing SM's L1 or the
+        # L2 — makes a position a candidate: a page parked solely in
+        # another SM's private L1 still misses both probed levels, so
+        # its event is a guaranteed hit-class insert.
+        res_ba = bytearray(seg_len)
+        cand_idx: list[int] = []
+        cand_masks: list[int] = []
+        i = 0
+        sm0 = g0 % num_sms
+        for p in seg_list:
+            if p in fop:
+                res_ba[i] = 1
+            m = presence_get(p)
+            if m is not None and (m & l2bit or m >> ((sm0 + i) % num_sms) & 1):
+                cand_idx.append(i)
+                cand_masks.append(m)
+            i += 1
+
+        # --- pressure refinement: a candidate whose L1 set *and* L2 set
+        # each receive >= associativity guaranteed inserts (non-candidate
+        # events) before its position is provably evicted by then — as
+        # long as no shootdown removes entries from those sets first
+        # (tracked via fr1_max/fr2_max).
+        flag_ba = bytearray(seg_len)
+        fr1_max.clear()
+        fr2_max.clear()
+        cand_np: Any = None
+        if cand_idx:
+            cand_np = np.zeros(seg_len, dtype=bool)
+            cand_np[cand_idx] = True
+            noncand = ~cand_np
+            sm_idx = (g0 + np.arange(seg_len, dtype=np.int64)) % num_sms
+            press1: Any = None
+            if num_sms * l1_nsets <= MAX_REFINE_KEYS:
+                if l1_nsets == 1:
+                    key1 = sm_idx
+                else:
+                    key1 = sm_idx * l1_nsets + (seg & l1_mask)
+                press1 = np.zeros(seg_len, dtype=bool)
+                for k in set(key1[cand_np].tolist()):
+                    mk = key1 == k
+                    counts = np.cumsum(noncand & mk)
+                    press1[mk] = counts[mk] >= l1_assoc
+            press2: Any = None
+            if l2_nsets <= MAX_REFINE_KEYS:
+                key2 = seg & l2_mask
+                press2 = np.zeros(seg_len, dtype=bool)
+                for k in set(key2[cand_np].tolist()):
+                    mk = key2 == k
+                    counts = np.cumsum(noncand & mk)
+                    press2[mk] = counts[mk] >= l2_assoc
+            for ci in range(len(cand_idx)):
+                i = cand_idx[ci]
+                m = cand_masks[ci]
+                s = (sm0 + i) % num_sms
+                frag1 = False
+                frag2 = False
+                ok = True
+                if m >> s & 1:
+                    if press1 is not None and press1[i]:
+                        frag1 = True
+                    else:
+                        ok = False
+                if ok and m & l2bit:
+                    if press2 is not None and press2[i]:
+                        frag2 = True
+                    else:
+                        ok = False
+                if not ok:
+                    flag_ba[i] = 1
+                    continue
+                if frag1:
+                    k = s * l1_nsets + (seg_list[i] & l1_mask)
+                    if fr1_max.get(k, -1) < i:
+                        fr1_max[k] = i
+                if frag2:
+                    k = seg_list[i] & l2_mask
+                    if fr2_max.get(k, -1) < i:
+                        fr2_max[k] = i
+
+        res_u8 = np.frombuffer(bytes(res_ba), dtype=np.uint8)
+        flag_u8 = np.frombuffer(bytes(flag_ba), dtype=np.uint8)
+        fault_np = (res_u8 | flag_u8) == 0
+        fault_ba = bytearray(fault_np.tobytes())
+        specials = np.flatnonzero((res_u8 == 0) | (flag_u8 != 0)).tolist()
+        nsp = len(specials)
+        sp = 0
+        flips: list[int] = []
+        flip_set: set[int] = set()
+        pos_map: Optional[dict[int, int]] = None
+
+        def note_eviction(victim: int, t: int) -> None:
+            """Flip the victim's future position into the fault class."""
+            nonlocal pos_map
+            if pos_map is None:
+                pos_map = {p: i for i, p in enumerate(seg_list)}
+            vt = pos_map.get(victim)
+            if vt is not None and vt > t and vt not in flip_set:
+                flip_set.add(vt)
+                if flag_ba[vt]:
+                    # Evicted + shot down before its event → guaranteed
+                    # fault; drop the flag so the fault path handles it.
+                    flag_ba[vt] = 0
+                heapq.heappush(flips, vt)
+
+        def shoot_invalidates(rm_mask: int, victim: int, t: int) -> bool:
+            """Did this shootdown invalidate a later pressure-unflag?
+
+            A pressure proof counts this segment's guaranteed
+            (non-candidate) inserts, so it only breaks when one of THOSE
+            entries is removed: the victim must have had its own event
+            before ``t`` (the sole way a page enters a TLB mid-segment),
+            and that event must have been a counted one.  A victim whose
+            entry predates the segment, or whose event was a candidate,
+            leaves every counted insert in place.
+            """
+            if not rm_mask or (not fr1_max and not fr2_max):
+                return False
+            vt = pos_map.get(victim) if pos_map is not None else None
+            if vt is None or vt >= t:
+                return False
+            if cand_np is not None and cand_np[vt]:
+                return False
+            return shoot_degrades(rm_mask, victim, t)
+
+        def flagged_event(t: int) -> bool:
+            """One flagged event via the live-probe body; True → degrade."""
+            nonlocal l2_hits_b, l2_misses_b, l2_ev_b
+            nonlocal walks_b, whits_b, wfaults_b, fq
+            if dbg is not None:
+                dbg["flagged_events"] = dbg.get("flagged_events", 0) + 1
+            flush_pending()
+            g = g0 + t
+            page = seg_list[t]
+            w = g % total_warps
+            s = g % num_sms
+            start = sm_issue[s]
+            ready_w = warp_ready[w]
+            if ready_w > start:
+                start = ready_w
+            sm_issue[s] = start + 1
+
+            entries = l1_sets[s][page & l1_mask]
+            if page in entries:
+                entries.move_to_end(page)
+                l1_hits_b[s] += 1
+                warp_ready[w] = start + l1_hit_total
+                return False
+            l1_misses_b[s] += 1
+            l2_entries = l2_sets[page & l2_mask]
+            if page in l2_entries:
+                l2_entries.move_to_end(page)
+                l2_hits_b += 1
+                if len(entries) >= l1_assoc:
+                    old, _ = entries.popitem(last=False)
+                    l1_ev_b[s] += 1
+                    om = presence[old] & sm_nbits[s]
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                entries[page] = 0
+                presence[page] |= sm_bits[s]
+                warp_ready[w] = start + l2_hit_total
+                return False
+            l2_misses_b += 1
+            walks_b += 1
+            pte = pt_entries.get(page)
+            if pte is not None and pte.valid:
+                whits_b += 1
+                pte.walk_hits += 1
+                for listener in listeners:
+                    listener(page)
+                frame = pte.frame
+                if len(entries) >= l1_assoc:
+                    old, _ = entries.popitem(last=False)
+                    l1_ev_b[s] += 1
+                    om = presence[old] & sm_nbits[s]
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                entries[page] = frame
+                if len(l2_entries) >= l2_assoc:
+                    old, _ = l2_entries.popitem(last=False)
+                    l2_ev_b += 1
+                    om = presence[old] & not_l2
+                    if om:
+                        presence[old] = om
+                    else:
+                        del presence[old]
+                l2_entries[page] = frame
+                presence[page] = presence_get(page, 0) | sm_bits[s] | l2bit
+                warp_ready[w] = start + walk_hit_total
+                return False
+            wfaults_b += 1
+            frame, victim, rm_mask, moved = lean_fault(page)
+            service = transfer_memo.get(moved)
+            if service is None:
+                service = fault_cycles + transfer_cycles(moved)
+                transfer_memo[moved] = service
+            if len(entries) >= l1_assoc:
+                old, _ = entries.popitem(last=False)
+                l1_ev_b[s] += 1
+                om = presence[old] & sm_nbits[s]
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            entries[page] = frame
+            if len(l2_entries) >= l2_assoc:
+                old, _ = l2_entries.popitem(last=False)
+                l2_ev_b += 1
+                om = presence[old] & not_l2
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            l2_entries[page] = frame
+            presence[page] = sm_bits[s] | l2bit
+            if consume_bytes is not None:
+                extra = consume_bytes()
+                if extra:
+                    service += transfer_cycles(extra)
+            begin = start + fault_begin_latency
+            if fq > begin:
+                begin = fq
+            fq = begin + service
+            warp_ready[w] = fq
+            if victim is not None:
+                note_eviction(victim, t)
+                return shoot_invalidates(rm_mask, victim, t)
+            return False
+
+        t = 0
+        scan_blocked_until = 0
+        while t < seg_len:
+            while sp < nsp and specials[sp] < t:
+                sp += 1
+            nxt = specials[sp] if sp < nsp else seg_len
+            if flips and flips[0] < nxt:
+                nxt = flips[0]
+            if t < nxt:
+                run_hits(g0 + t, seg_list[t:nxt])
+                t = nxt
+                continue
+            if flips and flips[0] == t:
+                heapq.heappop(flips)
+            if sp < nsp and specials[sp] == t:
+                sp += 1
+            if flag_ba[t]:
+                if flagged_event(t):
+                    # A shootdown invalidated a later pressure-unflag:
+                    # reclassify the remainder (still distinct pages)
+                    # against the post-shootdown state.
+                    t += 1
+                    rem = seg_len - t
+                    if rem >= MIN_SEGMENT and depth < 32:
+                        process_segment(g0 + t, rem, depth + 1)
+                    elif rem > 0:
+                        scalar_generic(g0 + t, rem)
+                    return
+                t += 1
+                continue
+            # Fault event.  First try to batch a compulsory run onto
+            # free frames (scan result is remembered so a rejected run
+            # is not rescanned fault by fault).
+            if free_list and fault_ba[t] and t >= scan_blocked_until:
+                limit = t + len(free_list)
+                if limit > seg_len:
+                    limit = seg_len
+                if limit - t >= MIN_FREE_RUN:
+                    stop_rel = np.flatnonzero(~fault_np[t:limit])
+                    end = t + int(stop_rel[0]) if stop_rel.size else limit
+                    if (
+                        end - t >= MIN_FREE_RUN
+                        and ever_touched.isdisjoint(seg_list[t:end])
+                    ):
+                        free_fault_run(g0 + t, seg_list[t:end])
+                        t = end
+                        continue
+                    scan_blocked_until = end
+            # --- inlined scalar fault (the eviction-chain hot path):
+            # lean_fault + eager TLB fills with presence updates, plus
+            # LRU/base-policy specializations resolved outside the loop.
+            if dbg is not None:
+                dbg["fault_events"] = dbg.get("fault_events", 0) + 1
+            if pend_l2_p:
+                flush_pending()
+            g = g0 + t
+            page = seg_list[t]
+            w = g % total_warps
+            s = g % num_sms
+            start = sm_issue[s]
+            ready_w = warp_ready[w]
+            if ready_w > start:
+                start = ready_w
+            sm_issue[s] = start + 1
+            l1_misses_b[s] += 1
+            l2_misses_b += 1
+            walks_b += 1
+            wfaults_b += 1
+            fault_no += 1
+            if page in ever_touched:
+                d_cap += 1
+            else:
+                ever_touched.add(page)
+                d_comp += 1
+            if has_pending_cb:
+                policy_on_fault_pending(page)
+            victim: Optional[int] = None
+            rm_mask = 0
+            if free_list:
+                frame = free_list.pop()
+                pt_entries[page] = PageTableEntry(
+                    frame=frame, faulted_at=fault_no
+                )
+                moved = page_size
+            else:
+                if lru_chain is not None and lru_chain:
+                    victim = lru_chain.popitem(last=False)[0]
+                else:
+                    victim = policy_select_victim()
+                ve = pt_entries.get(victim)
+                if ve is None or not ve.valid:
+                    raise KeyError(
+                        f"page {victim:#x} has no valid mapping"
+                    )
+                del pt_entries[victim]
+                try:
+                    frame = fop.pop(victim)
+                except KeyError:
+                    raise KeyError(
+                        f"page {victim:#x} is not resident"
+                    ) from None
+                # Masked shootdown (pending fills were flushed above);
+                # identical to shoot(), inlined on the chain path.
+                mm = presence_pop(victim, 0)
+                rm_mask = mm
+                if mm:
+                    if mm & l2bit:
+                        del l2_sets[victim & l2_mask][victim]
+                        l2_stats.shootdowns += 1
+                        mm &= not_l2
+                    while mm:
+                        b = mm & -mm
+                        s2 = b.bit_length() - 1
+                        del l1_sets[s2][victim & l1_mask][victim]
+                        l1_stats[s2].shootdowns += 1
+                        mm ^= b
+                d_evict += 1
+                d_bout += page_size
+                # Reuse the victim's entry object in place of
+                # page_table.invalidate + install: the tombstone and a
+                # fresh entry are observably identical (the collector
+                # reads counters, never entry identity), and this saves
+                # an allocation per chain fault.
+                ve.frame = frame
+                ve.faulted_at = fault_no
+                ve.walk_hits = 0
+                pt_entries[page] = ve
+                moved = page_size + page_size
+            fop[page] = frame
+            pof[frame] = page
+            d_bin += page_size
+            if lru_chain is not None:
+                lru_chain[page] = None
+            else:
+                policy_on_page_in(page, fault_no)
+            service = transfer_memo.get(moved)
+            if service is None:
+                service = fault_cycles + transfer_cycles(moved)
+                transfer_memo[moved] = service
+            entries = l1_sets[s][page & l1_mask]
+            if len(entries) >= l1_assoc:
+                old, _ = entries.popitem(last=False)
+                l1_ev_b[s] += 1
+                om = presence[old] & sm_nbits[s]
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            entries[page] = frame
+            l2_entries = l2_sets[page & l2_mask]
+            if len(l2_entries) >= l2_assoc:
+                old, _ = l2_entries.popitem(last=False)
+                l2_ev_b += 1
+                om = presence[old] & not_l2
+                if om:
+                    presence[old] = om
+                else:
+                    del presence[old]
+            l2_entries[page] = frame
+            presence[page] = sm_bits[s] | l2bit
+            if consume_bytes is not None:
+                extra = consume_bytes()
+                if extra:
+                    service += transfer_cycles(extra)
+            begin = start + fault_begin_latency
+            if fq > begin:
+                begin = fq
+            fq = begin + service
+            warp_ready[w] = fq
+            if victim is not None:
+                note_eviction(victim, t)
+                if shoot_invalidates(rm_mask, victim, t):
+                    t += 1
+                    rem = seg_len - t
+                    if rem >= MIN_SEGMENT and depth < 32:
+                        process_segment(g0 + t, rem, depth + 1)
+                    elif rem > 0:
+                        scalar_generic(g0 + t, rem)
+                    return
+            t += 1
+
+    # --- main loop -----------------------------------------------------
+    i = 0
+    while i < n:
+        remaining = n - i
+        if remaining < MIN_SEGMENT:
+            scalar_generic(i, remaining)
+            break
+        seg_len = find_segment(i)
+        if seg_len < MIN_SEGMENT:
+            chunk = SCALAR_CHUNK if SCALAR_CHUNK < remaining else remaining
+            scalar_generic(i, chunk)
+            i += chunk
+        else:
+            process_segment(i, seg_len)
+            i += seg_len
+
+    # --- fold batched counters back into the shared structures ---------
+    flush_pending()
+    for s, tlb in enumerate(hierarchy.l1_tlbs):
+        tlb.add_batched_stats(l1_hits_b[s], l1_misses_b[s], l1_ev_b[s])
+    hierarchy.l2_tlb.add_batched_stats(l2_hits_b, l2_misses_b, l2_ev_b)
+    walker.add_batched_counts(walks_b, whits_b, wfaults_b)
+    stats.faults = fault_no
+    stats.compulsory_faults += d_comp
+    stats.capacity_faults += d_cap
+    stats.evictions += d_evict
+    stats.bytes_migrated_in += d_bin
+    stats.bytes_evicted_out += d_bout
+    return max(max(warp_ready, default=0), max(sm_issue, default=0))

@@ -104,6 +104,17 @@ class UVMDriver:
         self.stats = DriverStats()
         self._ever_touched: set[int] = set()
 
+    def fastpath_state(self) -> tuple[set[int], int]:
+        """Internals for the batch kernel (:mod:`repro.sim.fastpath2`).
+
+        Returns ``(ever_touched, page_size_bytes)``.  The caller may
+        replay faults itself — with exactly the :meth:`service_fault`
+        update rules for an obs-free, checker-free, prefetch-free driver
+        — provided it folds the fault/eviction/byte counters back into
+        :attr:`stats` afterwards and keeps ``ever_touched`` current.
+        """
+        return self._ever_touched, self.page_size_bytes
+
     def _evict_one(self) -> int:
         victim = self.policy.select_victim()
         self.page_table.invalidate(victim)

@@ -1,0 +1,68 @@
+"""Golden key-metrics snapshots: what the (agreeing) tiers agree on.
+
+The differential matrix proves tier equality; these snapshots pin the
+absolute numbers so a lockstep semantic regression — all three tiers
+drifting together — still fails.  Regenerate after an intentional
+change with ``hpe-repro golden --update`` and review the JSON diff.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.check import golden
+from repro.check.difftraces import GENERATORS
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def test_snapshot_files_are_checked_in() -> None:
+    for kind in GENERATORS:
+        path = GOLDEN_DIR / f"{kind}.json"
+        assert path.is_file(), (
+            f"missing golden snapshot {path}; generate with: "
+            "hpe-repro golden --update"
+        )
+
+
+def test_default_dir_resolves_to_checked_in_snapshots() -> None:
+    assert golden.default_golden_dir() == GOLDEN_DIR
+
+
+def test_current_simulator_matches_snapshots() -> None:
+    problems = golden.check_golden(GOLDEN_DIR)
+    assert not problems, "\n".join(problems)
+
+
+def test_snapshots_cover_every_policy_and_rate() -> None:
+    from repro.experiments.runner import POLICY_NAMES
+
+    for kind in GENERATORS:
+        with open(GOLDEN_DIR / f"{kind}.json", encoding="ascii") as stream:
+            snapshot = json.load(stream)
+        assert snapshot["seed"] == golden.GOLDEN_SEED
+        assert snapshot["length"] == golden.GOLDEN_LENGTH
+        expected_keys = {
+            f"{policy}@{rate}"
+            for policy in POLICY_NAMES
+            for rate in golden.GOLDEN_RATES
+        }
+        assert set(snapshot["entries"]) == expected_keys
+
+
+def test_tampered_snapshot_is_detected(tmp_path) -> None:
+    """A single perturbed counter in one entry must be reported."""
+    (written,) = golden.write_golden(tmp_path, kinds=["phased"])
+    snapshot = json.loads(written.read_text(encoding="ascii"))
+    entry = snapshot["entries"]["lru@0.75"]
+    entry["driver"]["evictions"] += 1
+    written.write_text(json.dumps(snapshot), encoding="ascii")
+    problems = golden.check_golden(tmp_path, kinds=["phased"])
+    assert any("lru@0.75" in problem and "driver" in problem
+               for problem in problems), problems
+
+
+def test_missing_snapshot_is_reported(tmp_path) -> None:
+    problems = golden.check_golden(tmp_path, kinds=["adversarial"])
+    assert any("missing snapshot" in problem for problem in problems)

@@ -195,6 +195,15 @@ class TestTraceCache:
 
 
 class TestMeans:
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_dedup(self):
+        """Each test sees the once-per-call-site set empty."""
+        from repro.experiments.runner import reset_mean_warnings
+
+        reset_mean_warnings()
+        yield
+        reset_mean_warnings()
+
     def test_arithmetic_mean(self):
         assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
         assert arithmetic_mean([]) == 0.0
@@ -238,3 +247,42 @@ class TestMeans:
         with warnings.catch_warnings():
             warnings.simplefilter("error")
             assert arithmetic_mean([1.0, 3.0]) == pytest.approx(2.0)
+
+    def test_geometric_mean_warns_once_per_call_site(self):
+        """A 50-cell sweep must not repeat the identical warning 50x."""
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(50):
+                geometric_mean([0.0, 2.0, 8.0])
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, RuntimeWarning)
+
+    def test_arithmetic_mean_warns_once_per_call_site(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(50):
+                arithmetic_mean([float("nan"), 2.0])
+        assert len(caught) == 1
+
+    def test_distinct_call_sites_each_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            geometric_mean([0.0, 2.0])
+            geometric_mean([0.0, 2.0])
+        assert len(caught) == 2
+
+    def test_reset_restores_warning(self):
+        from repro.experiments.runner import reset_mean_warnings
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(2):
+                arithmetic_mean([float("nan")])
+                reset_mean_warnings()
+        assert len(caught) == 2
+
+    def test_strict_mode_raises_every_time(self):
+        """Dedup must never swallow the strict=True ValueError."""
+        for _ in range(3):
+            with pytest.raises(ValueError):
+                geometric_mean([-1.0], strict=True)

@@ -85,3 +85,77 @@ class TestErrorHandling:
         path = tmp_path / "ok.trace"
         path.write_text(f"{MAGIC}\n\n# just a comment without equals\n5\n")
         assert load_trace(path).pages == [5]
+
+
+class TestSharedTraceStore:
+    """The shared-memory store used by parallel matrix runs."""
+
+    def _traces(self):
+        return {
+            ("BFS", 7, 1.0): Trace(
+                "bfs-demo", [0, 5, 9, 5, 0], PatternType.PART_REPETITIVE,
+                metadata={"iterations": 3},
+            ),
+            ("STN", 7, 1.0): Trace(
+                "stn-demo", list(range(64)), PatternType.STREAMING,
+            ),
+        }
+
+    def test_publish_attach_roundtrip(self):
+        from repro.workloads.trace_io import TraceStore
+
+        store = TraceStore.publish(self._traces())
+        assert store is not None
+        try:
+            attached = TraceStore.attach(store.handle)
+            assert attached is not None
+            try:
+                trace = attached.get("BFS", 7, 1.0)
+                assert trace is not None
+                assert trace.pages == [0, 5, 9, 5, 0]
+                assert trace.name == "bfs-demo"
+                assert trace.pattern_type is PatternType.PART_REPETITIVE
+                assert trace.metadata == {"iterations": "3"}
+                assert trace.footprint_pages == 3
+                other = attached.get("STN", 7, 1.0)
+                assert other is not None and other.pages == list(range(64))
+                assert attached.get("HOT", 7, 1.0) is None
+                assert attached.get("BFS", 8, 1.0) is None
+            finally:
+                attached.close()
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_keys_and_case_insensitive_lookup(self):
+        from repro.workloads.trace_io import TraceStore
+
+        store = TraceStore.publish(self._traces())
+        assert store is not None
+        try:
+            assert sorted(store.keys()) == [("BFS", 7, 1.0), ("STN", 7, 1.0)]
+            assert store.get("bfs", 7, 1.0) is not None
+        finally:
+            store.close()
+            store.unlink()
+
+    def test_publish_empty_returns_none(self):
+        from repro.workloads.trace_io import TraceStore
+
+        assert TraceStore.publish({}) is None
+
+    def test_attach_after_unlink_returns_none(self):
+        from repro.workloads.trace_io import TraceStore, TraceStoreHandle
+
+        handle = TraceStoreHandle(shm_name="repro-gone-xyz", entries=())
+        assert TraceStore.attach(handle) is None
+
+    def test_lifecycle_is_idempotent(self):
+        from repro.workloads.trace_io import TraceStore
+
+        store = TraceStore.publish(self._traces())
+        assert store is not None
+        store.close()
+        store.close()
+        store.unlink()
+        store.unlink()

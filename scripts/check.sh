@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Run the full correctness gate locally — the same three layers CI runs:
 #
-#   1. repro lint       custom AST rules REP001-REP006
+#   1. repro lint       custom AST rules REP001-REP008
 #   2. repro typecheck  mypy strict (if installed) + annotation gate
 #   3. sanitized runs   every policy on two suite apps under
 #                       REPRO_SANITIZE, asserting zero violations and

@@ -45,6 +45,28 @@ def _policies() -> "tuple[str, ...]":
     return POLICY_NAMES
 
 
+def golden_spec(kind: str, policy: str, rate: float) -> "Any":
+    """The :class:`~repro.scenarios.spec.ScenarioSpec` of one golden cell.
+
+    Goldens are ``family="golden"`` scenarios: the generator name is the
+    workload and the trace length travels in ``params``, so the snapshot
+    identity is derived from the same canonical form as every cache
+    fingerprint and run id.  A canonical-form or schema change therefore
+    fails the golden check loudly (``spec_digest`` mismatch) instead of
+    silently comparing against snapshots of a different identity regime.
+    """
+    from repro.scenarios.spec import GOLDEN_FAMILY, ScenarioSpec
+
+    return ScenarioSpec(
+        workload=kind,
+        policy=policy,
+        rate=rate,
+        seed=GOLDEN_SEED,
+        family=GOLDEN_FAMILY,
+        params=(("length", GOLDEN_LENGTH),),
+    )
+
+
 def compute_golden(
     kinds: "Optional[Sequence[str]]" = None,
 ) -> "dict[str, dict[str, Any]]":
@@ -63,16 +85,20 @@ def compute_golden(
     for kind in kinds if kinds is not None else GENERATORS:
         trace = build(kind, GOLDEN_SEED, GOLDEN_LENGTH)
         entries: "dict[str, Any]" = {}
+        spec_digests: "dict[str, str]" = {}
         for policy in _policies():
             for rate in GOLDEN_RATES:
                 capacity = max(8, int(trace.footprint_pages * rate))
                 run = run_level(trace.pages, policy, capacity, level,
                                 workload_name=trace.name)
-                entries[f"{policy}@{rate}"] = run.metrics
+                key = f"{policy}@{rate}"
+                entries[key] = run.metrics
+                spec_digests[key] = golden_spec(kind, policy, rate).digest()
         snapshots[kind] = {
             "seed": GOLDEN_SEED,
             "length": GOLDEN_LENGTH,
             "footprint_pages": trace.footprint_pages,
+            "spec_digests": spec_digests,
             "entries": entries,
         }
     return snapshots
@@ -113,7 +139,7 @@ def check_golden(
             continue
         with open(path, encoding="ascii") as stream:
             expected = json.load(stream)
-        for meta in ("seed", "length", "footprint_pages"):
+        for meta in ("seed", "length", "footprint_pages", "spec_digests"):
             if expected.get(meta) != snapshot[meta]:
                 problems.append(
                     f"{kind}: snapshot {meta}={expected.get(meta)!r} "

@@ -28,6 +28,12 @@ REP007   No raw atomic-rename plumbing (``os.replace`` / ``os.rename``
          every persistent write must go through the one blessed
          fsync'd, checksummed implementation so crash-safety is
          provable in a single place.
+REP008   No hand-rolled canonical identity strings: a ``"|".join``
+         whose parts carry spec-identity prefixes (``schema=``,
+         ``family=``, ``policy=``, ...) outside
+         :mod:`repro.scenarios.spec` re-creates the three-hash drift
+         bug that module exists to end — derive the hash from
+         ``ScenarioSpec.canonical()`` / ``MatrixSpec.canonical()``.
 ======== ==============================================================
 
 Suppression: append ``# noqa`` or ``# noqa: REP00x`` to the flagged
@@ -72,6 +78,13 @@ CACHE_FINGERPRINTS: dict[int, dict[str, str]] = {
         "DriverStats": "abc847a51741580eb5fc7f7a23e581a4",
         "HIRStats": "b9cb92bd0f4dace77a34b7ab5af36749",
     },
+    # v4 moved the canonical identity string to ScenarioSpec.canonical()
+    # (gained family/params fields); the pickled shapes are unchanged.
+    4: {
+        "SimulationResult": "1f9e70077f183cbbacab3608373573f7",
+        "DriverStats": "abc847a51741580eb5fc7f7a23e581a4",
+        "HIRStats": "b9cb92bd0f4dace77a34b7ab5af36749",
+    },
 }
 
 #: Where the fingerprinted dataclasses live, relative to ``src/repro``.
@@ -92,6 +105,15 @@ _RELAXED_IN_TESTS = {"REP004", "REP005", "REP007"}
 #: Calls REP007 forbids outside the blessed module.
 _RAW_PERSISTENCE_CALLS = {"os.replace", "os.rename", "tempfile.mkstemp"}
 
+#: Key prefixes that mark a ``"|".join`` as a canonical identity string
+#: for REP008.  Two or more of these in one join is the spec-string
+#: idiom; one alone (e.g. a progress line) is not flagged.
+_CANONICAL_PREFIXES = (
+    "schema=", "journal-schema=", "cache-schema=", "family=",
+    "workload=", "policy=", "policies=", "app=", "apps=", "rate=",
+    "rates=",
+)
+
 
 def _is_test_file(path: str) -> bool:
     parts = Path(path).parts
@@ -111,6 +133,20 @@ class LintFinding:
     def render(self) -> str:
         """``path:line:col: CODE message`` — editor-clickable."""
         return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+
+def _literal_prefix(node: ast.AST) -> str:
+    """Leading literal text of a string constant or f-string, else ``""``."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    if (
+        isinstance(node, ast.JoinedStr)
+        and node.values
+        and isinstance(node.values[0], ast.Constant)
+        and isinstance(node.values[0].value, str)
+    ):
+        return node.values[0].value
+    return ""
 
 
 def _dotted(node: ast.AST) -> Optional[str]:
@@ -158,7 +194,7 @@ def _none_test(test: ast.expr, receiver: str) -> Optional[str]:
 
 
 class _FileLinter(ast.NodeVisitor):
-    """Single-file REP001–REP005 visitor.
+    """Single-file REP001–REP005, REP007, REP008 visitor.
 
     The tree is walked once with a parent map so REP004 can climb from an
     ``emit`` call to its guarding ``if``.
@@ -222,6 +258,7 @@ class _FileLinter(ast.NodeVisitor):
             )
         self._check_obs_guard(node)
         self._check_raw_persistence(node, target)
+        self._check_canonical_join(node)
         self.generic_visit(node)
 
     # -- REP007: atomic persistence goes through resil.atomic -------------
@@ -240,6 +277,36 @@ class _FileLinter(ast.NodeVisitor):
             "repro.resil.atomic (atomic_write_* / replace_into) so "
             "fsync + checksum discipline stays in one place",
         )
+
+    # -- REP008: canonical spec strings come from repro.scenarios.spec ----
+
+    def _check_canonical_join(self, node: ast.Call) -> None:
+        func = node.func
+        if not (
+            isinstance(func, ast.Attribute)
+            and func.attr == "join"
+            and isinstance(func.value, ast.Constant)
+            and func.value.value == "|"
+            and len(node.args) == 1
+            and isinstance(node.args[0], (ast.List, ast.Tuple))
+        ):
+            return
+        posix = Path(self.path).as_posix()
+        if posix.endswith("scenarios/spec.py"):
+            return  # the one blessed canonical-form implementation
+        hits = sum(
+            1
+            for element in node.args[0].elts
+            if _literal_prefix(element).startswith(_CANONICAL_PREFIXES)
+        )
+        if hits >= 2:
+            self._report(
+                node, "REP008",
+                "hand-rolled canonical identity string — derive hashes "
+                "from ScenarioSpec.canonical() / MatrixSpec.canonical() "
+                "(repro.scenarios.spec) so every identity normalises "
+                "the same way",
+            )
 
     # -- REP002: mutable default arguments --------------------------------
 
@@ -361,7 +428,8 @@ class _FileLinter(ast.NodeVisitor):
 
 
 def lint_source(path: str, source: str) -> list[LintFinding]:
-    """Run REP001–REP005 over one file's source text."""
+    """Run the per-file rules (REP001–REP005, REP007, REP008) over
+    one file's source text."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:

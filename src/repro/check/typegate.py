@@ -34,6 +34,7 @@ STRICT_PACKAGES: tuple[str, ...] = (
     "uvm",
     "check",
     "resil",
+    "scenarios",
 )
 
 #: Decorators whose functions are exempt (their signatures are fixed by

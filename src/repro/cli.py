@@ -31,11 +31,17 @@ Subcommands
     one simulation under the runtime sanitizer; ``check determinism``
     replays it twice and diffs the metric digests; ``check journal
     [RUN_ID]`` validates run-journal files against their schema.
+``scenarios``
+    The named scenario registry: ``scenarios list`` shows every
+    registered experiment, ``scenarios show NAME`` prints its spec and
+    hashes, ``scenarios run NAME`` executes it through the journaled
+    matrix engine, and ``scenarios verify`` checks every registered
+    spec hash against the committed manifest (run in CI).
 ``resume``
     Resume an interrupted matrix run from its journal (or list the
     runs on disk when no id is given).
 ``lint``
-    Run the repo-specific AST lint pass (REP001–REP007).
+    Run the repo-specific AST lint pass (REP001–REP008).
 ``typecheck``
     Run the strict typing gate (mypy when installed, plus the AST
     annotation-completeness check).
@@ -46,6 +52,7 @@ Subcommands
 from __future__ import annotations
 
 import argparse
+import math
 import os
 import sys
 import time
@@ -255,8 +262,22 @@ def build_parser() -> argparse.ArgumentParser:
                         help="snapshot directory (default: "
                              "tests/diff/golden in the source checkout)")
 
+    scen_p = sub.add_parser(
+        "scenarios",
+        help="named scenario registry: list, show NAME, run NAME, "
+             "verify (spec hashes vs the committed manifest)",
+    )
+    scen_p.add_argument("action", choices=["list", "show", "run", "verify"],
+                        help="list: every registered scenario; show: one "
+                             "spec with its hashes; run: execute through "
+                             "the matrix engine; verify: compare spec "
+                             "hashes against the manifest")
+    scen_p.add_argument("name", nargs="?", metavar="NAME", default=None,
+                        help="scenario name (required for show/run)")
+    _add_common(scen_p)
+
     lint_p = sub.add_parser(
-        "lint", help="run the repo-specific AST lint pass (REP001-REP007)"
+        "lint", help="run the repo-specific AST lint pass (REP001-REP008)"
     )
     lint_p.add_argument("paths", nargs="*",
                         help="files/directories (default: the installed "
@@ -424,9 +445,18 @@ def _check_journal(args: argparse.Namespace) -> int:
 
 
 def _resume(args: argparse.Namespace) -> int:
-    """``resume [RUN_ID]``: continue an interrupted matrix run."""
-    from repro.experiments.runner import run_matrix
+    """``resume [RUN_ID]``: continue an interrupted matrix run.
+
+    The journal's ``run_start`` record carries the matrix's full spec
+    hash.  Resume rebuilds a :class:`~repro.scenarios.spec.MatrixSpec`
+    from the recorded fields and *proves* it is the same experiment by
+    recomputing the hash — a mismatch (custom GPU/HPE config the journal
+    cannot carry, or a schema bump since the run) refuses instead of
+    silently re-running something else.
+    """
+    from repro.experiments.runner import run_scenario
     from repro.resil import journal as resil_journal
+    from repro.scenarios.spec import PAPER_FAMILY, MatrixSpec, ScenarioError
 
     if args.run_id is None:
         runs = resil_journal.list_runs()
@@ -451,20 +481,110 @@ def _resume(args: argparse.Namespace) -> int:
               f"{resil_journal.journal_dir()}", file=sys.stderr)
         return 1
     spec = summary.spec
-    if spec.get("custom_config"):
-        print("this run used a custom GPU/HPE configuration, which the "
-              "journal cannot reconstruct — re-run the original command; "
-              "the result cache still serves its completed jobs",
+    recorded_hash = spec.get("spec_hash")
+    if not recorded_hash:
+        print("this journal predates spec-hash recording (schema v1) and "
+              "its run id cannot be re-derived — re-run the original "
+              "command; the result cache still serves its completed jobs",
               file=sys.stderr)
+        return 1
+    try:
+        matrix_spec = MatrixSpec(
+            policies=tuple(spec["policies"]),
+            rates=tuple(spec["rates"]),
+            apps=tuple(spec["apps"]),
+            seed=spec["seed"],
+            scale=spec["scale"],
+            family=spec.get("family", PAPER_FAMILY),
+            prefetch_degree=spec.get("prefetch", 0),
+        )
+    except (KeyError, ScenarioError) as error:
+        print(f"journal spec cannot be reconstructed: {error!r}",
+              file=sys.stderr)
+        return 1
+    if matrix_spec.spec_hash() != recorded_hash:
+        print("recorded spec hash does not match the reconstructed matrix "
+              "— the run used settings the journal cannot carry (custom "
+              "GPU/HPE configuration) or predates a schema bump; re-run "
+              "the original command; the result cache still serves its "
+              "completed jobs", file=sys.stderr)
         return 1
     print(f"resuming {args.run_id}: {summary.done}/"
           f"{summary.total_jobs} job(s) already completed", file=sys.stderr)
-    matrix = run_matrix(
-        spec["policies"], rates=spec["rates"], apps=spec["apps"],
-        seed=spec["seed"], scale=spec["scale"], progress=True,
-    )
+    matrix = run_scenario(matrix_spec, progress=True)
     print(f"run {matrix.run_id}: {len(matrix.results)} cell(s) complete, "
           f"{len(matrix.failures)} failed")
+    for line in matrix.failure_lines():
+        print(f"  FAILED {line}")
+    return 1 if matrix.degraded else 0
+
+
+def _run_scenarios(args: argparse.Namespace) -> int:
+    """``scenarios {list,show,run,verify} [NAME]``: the named registry."""
+    from repro.experiments.runner import run_scenario
+    from repro.scenarios import (
+        ScenarioError,
+        all_scenarios,
+        get_scenario,
+        verify_manifest,
+    )
+
+    if args.action == "list":
+        entries = all_scenarios()
+        width = max((len(entry.name) for entry in entries), default=4)
+        for entry in entries:
+            cells = len(entry.spec.cells())
+            print(f"{entry.name:<{width}s}  {cells:>4d} cells  "
+                  f"{entry.spec.run_id()}  {entry.description}")
+        return 0
+
+    if args.action == "verify":
+        problems = verify_manifest()
+        for problem in problems:
+            print(f"  SCENARIO {problem}")
+        if problems:
+            print(f"scenarios: {len(problems)} manifest mismatch(es)")
+            return 1
+        print(f"scenarios: all {len(all_scenarios())} spec hashes match "
+              "the manifest")
+        return 0
+
+    if args.name is None:
+        print(f"scenarios {args.action}: NAME is required", file=sys.stderr)
+        return 2
+    try:
+        entry = get_scenario(args.name)
+    except ScenarioError as error:
+        print(f"scenarios: {error}", file=sys.stderr)
+        return 2
+
+    if args.action == "show":
+        print(f"name        : {entry.name}")
+        print(f"description : {entry.description}")
+        for field, value in entry.spec.describe().items():
+            print(f"{field:12s}: {value}")
+        return 0
+
+    # run — the spec is the identity authority: the sweep flags that
+    # would change it are rejected rather than silently ignored.
+    overridden = [
+        flag for flag, given in (
+            ("--seed", args.seed != 7),
+            ("--scale", not math.isclose(args.scale, 1.0)),
+            ("--apps", args.apps is not None),
+        ) if given
+    ]
+    if overridden:
+        print(f"scenarios run: {', '.join(overridden)} would change the "
+              "experiment identity; registered specs are immutable — "
+              "use the matrix flags via figures/tables, or register a "
+              "new scenario", file=sys.stderr)
+        return 2
+    start = time.time()
+    matrix = run_scenario(entry.spec, progress=True)
+    elapsed = time.time() - start
+    print(f"run {matrix.run_id}: {len(matrix.results)} cell(s) complete, "
+          f"{len(matrix.failures)} failed ({elapsed:.1f}s)")
     for line in matrix.failure_lines():
         print(f"  FAILED {line}")
     return 1 if matrix.degraded else 0
@@ -627,6 +747,9 @@ def _dispatch(parser: argparse.ArgumentParser,
               args: argparse.Namespace) -> int:
     if args.command == "resume":
         return _resume(args)
+
+    if args.command == "scenarios":
+        return _run_scenarios(args)
 
     if args.command == "cache":
         if args.action == "clear":

@@ -10,7 +10,6 @@ capacity with the paper's fixed ``m_c = 128``.
 
 from __future__ import annotations
 
-import hashlib
 import math
 import os
 import signal
@@ -37,6 +36,13 @@ from repro.resil import (
 from repro.resil import chaos as resil_chaos
 from repro.resil import journal as resil_journal
 from repro.resil import supervisor as resil_supervisor
+from repro.scenarios.spec import (
+    DEFAULT_SEED,
+    PAPER_FAMILY,
+    MatrixSpec,
+    ScenarioError,
+    ScenarioSpec,
+)
 from repro.sim import cache as sim_cache
 from repro.policies import (
     ARCPolicy,
@@ -67,8 +73,8 @@ POLICY_NAMES = (
 #: The two oversubscription rates the paper evaluates (Section V).
 PAPER_RATES = (0.75, 0.50)
 
-#: Default RNG seed for trace generation (fixed for reproducibility).
-DEFAULT_SEED = 7
+# DEFAULT_SEED is defined in repro.scenarios.spec (the identity
+# authority) and re-exported here for the harnesses that import it.
 
 #: Environment variable selecting the default worker count for
 #: :func:`run_matrix` (``0`` means "one worker per CPU").
@@ -196,13 +202,15 @@ def run_application(
     scale: float = 1.0,
     config: Optional[GPUConfig] = None,
     hpe_config: Optional[HPEConfig] = None,
+    prefetch_degree: int = 0,
     use_cache: Optional[bool] = None,
     obs=None,
 ) -> SimulationResult:
     """Run one (application, policy, oversubscription-rate) simulation.
 
-    Results are memoised in the persistent cache (see
-    :mod:`repro.sim.cache`) keyed by every input that can change them;
+    A thin adapter over :func:`run_spec`: the arguments are folded into
+    a :class:`~repro.scenarios.spec.ScenarioSpec`, whose canonical form
+    keys the persistent cache (see :mod:`repro.sim.cache`).
     ``use_cache=False`` forces a fresh simulation for this call only.
 
     ``obs`` selects observability for this run: ``None`` consults the
@@ -213,6 +221,40 @@ def run_application(
     a cached result has no trace or time-series to offer — and are not
     stored back, keeping cache entries free of observation payloads.
     """
+    return run_spec(
+        ScenarioSpec(
+            workload=app,
+            policy=policy,
+            rate=rate,
+            seed=seed,
+            scale=scale,
+            config=config,
+            hpe_config=hpe_config,
+            prefetch_degree=prefetch_degree,
+        ),
+        use_cache=use_cache,
+        obs=obs,
+    )
+
+
+def run_spec(
+    spec: ScenarioSpec,
+    *,
+    use_cache: Optional[bool] = None,
+    obs=None,
+) -> SimulationResult:
+    """Run (or serve from cache) the simulation ``spec`` describes.
+
+    The cached entry point: the result is memoised under
+    ``spec.digest()`` — the SHA-256 of the spec's canonical identity
+    string — so every caller that goes through a spec shares entries by
+    construction.  See :func:`run_application` for the ``obs`` contract.
+    """
+    if spec.family != PAPER_FAMILY:
+        raise ScenarioError(
+            f"workload family {spec.family!r} has no runnable backend yet "
+            f"(only {PAPER_FAMILY!r} scenarios simulate)"
+        )
     if obs is None:
         obs = obs_module.enabled()
     if obs is False:
@@ -224,25 +266,26 @@ def run_application(
     caching = sim_cache.cache_enabled() if use_cache is None else use_cache
     if observation is not None:
         caching = False
-    digest = sim_cache.fingerprint(
-        app, policy, rate,
-        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
-    )
+    digest = spec.digest()
     if caching:
         cached = sim_cache.result_cache().get(digest)
         if cached is not None:
             return cached
-    spec = get_application(app)
-    trace = _TRACES.get(app, seed, scale)
-    capacity = trace.capacity_for(rate)
+    app_spec = get_application(spec.workload)
+    trace = _TRACES.get(spec.workload, spec.seed, spec.scale)
+    capacity = trace.capacity_for(spec.rate)
     policy_obj = make_policy(
-        policy, capacity, spec=spec, hpe_config=hpe_config, seed=seed
+        spec.policy, capacity, spec=app_spec,
+        hpe_config=spec.hpe_config, seed=spec.seed,
     )
-    simulator = UVMSimulator(policy_obj, capacity, config, obs=observation)
-    result = simulator.run(trace.pages, workload_name=spec.abbr)
+    simulator = UVMSimulator.for_scenario(
+        spec, policy_obj, capacity, obs=observation
+    )
+    result = simulator.run(trace.pages, workload_name=app_spec.abbr)
     result.extras["policy"] = policy_obj
-    result.extras["pattern_type"] = spec.pattern_type
-    result.extras["rate"] = rate
+    result.extras["pattern_type"] = app_spec.pattern_type
+    result.extras["rate"] = spec.rate
+    result.extras["scenario_digest"] = digest
     if observation is not None:
         sim_cache.result_cache().stats.observe_into(observation.registry)
         result.extras["metrics"] = observation.registry.to_dict()
@@ -380,25 +423,22 @@ def _attach_shared_traces(handle) -> None:
 
 
 def _run_job(job: tuple) -> SimulationResult:
-    """Pool entry point: one (app, policy, rate) simulation.
+    """Pool entry point: one scenario-cell simulation.
 
     Lives at module level so it pickles under any multiprocessing start
-    method.  Only names, configs, and (optionally) a shared-memory trace
-    store handle cross the process boundary inbound — the worker maps
-    the parent's published traces, or builds its own when there is no
-    store — and only the :class:`SimulationResult` crosses back.
+    method.  Only the frozen :class:`ScenarioSpec` and (optionally) a
+    shared-memory trace store handle cross the process boundary inbound
+    — the worker maps the parent's published traces, or builds its own
+    when there is no store — and only the :class:`SimulationResult`
+    crosses back.
     """
-    app, policy, rate, seed, scale, config, hpe_config, observe, handle = job
+    cell, observe, handle = job
     if handle is not None:
         _attach_shared_traces(handle)
     # Workers observe registry-only (obs=True): an Observation carrying
     # an open JSONL handle must never cross the process boundary.  The
     # registry travels back serialised inside ``extras["metrics"]``.
-    return run_application(
-        app, policy, rate,
-        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
-        obs=bool(observe),
-    )
+    return run_spec(cell, obs=bool(observe))
 
 
 def matrix_run_id(
@@ -413,23 +453,23 @@ def matrix_run_id(
 ) -> tuple[str, str]:
     """Deterministic (run id, full spec hash) for one matrix spec.
 
-    The id is a pure function of the spec, so re-invoking the same
-    matrix — by hand or via ``hpe-repro resume`` — lands on the same
-    journal and picks up where the interrupted run stopped.
+    A thin adapter over :meth:`~repro.scenarios.spec.MatrixSpec.run_id`
+    — the id is a pure function of the *normalised* spec (``None`` and
+    the explicit default ``GPUConfig()`` are the same matrix), so
+    re-invoking the same matrix — by hand or via ``hpe-repro resume`` —
+    lands on the same journal and picks up where the interrupted run
+    stopped.
     """
-    canonical = "|".join([
-        f"journal-schema={resil_journal.JOURNAL_SCHEMA_VERSION}",
-        f"cache-schema={sim_cache.CACHE_SCHEMA_VERSION}",
-        f"policies={','.join(p.lower() for p in policies)}",
-        f"rates={','.join(repr(r) for r in rates)}",
-        f"apps={','.join(a.upper() for a in apps)}",
-        f"seed={seed}",
-        f"scale={scale!r}",
-        f"config={sim_cache._stable_config_repr(config)}",
-        f"hpe={sim_cache._stable_config_repr(hpe_config)}",
-    ])
-    spec_hash = hashlib.sha256(canonical.encode("utf-8")).hexdigest()
-    return f"run-{spec_hash[:12]}", spec_hash
+    spec = MatrixSpec(
+        policies=tuple(policies),
+        rates=tuple(rates),
+        apps=tuple(apps),
+        seed=seed,
+        scale=scale,
+        config=config,
+        hpe_config=hpe_config,
+    )
+    return spec.run_id(), spec.spec_hash()
 
 
 class _MatrixSigTerm(BaseException):
@@ -470,6 +510,11 @@ def run_matrix(
 ) -> ResultMatrix:
     """Run the cartesian product and collect a :class:`ResultMatrix`.
 
+    A thin adapter over :func:`run_scenario`: the grid arguments are
+    folded into a :class:`~repro.scenarios.spec.MatrixSpec`, so the
+    legacy signature and an explicit spec produce identical run ids,
+    journals, and cache digests by construction.
+
     With ``jobs > 1`` the (rate × app × policy) runs fan out over a
     supervised worker pool (:class:`~repro.resil.WorkerSupervisor`):
     each job gets a wall-clock ``timeout`` and up to ``retries`` extra
@@ -498,13 +543,46 @@ def run_matrix(
     Progress lines go to stderr so piped harness output is never
     corrupted.
     """
-    apps = list(apps) if apps is not None else list(APPLICATION_ORDER)
+    spec = MatrixSpec(
+        policies=tuple(policies),
+        rates=tuple(rates),
+        apps=tuple(apps) if apps is not None else tuple(APPLICATION_ORDER),
+        seed=seed,
+        scale=scale,
+        config=config,
+        hpe_config=hpe_config,
+    )
+    return run_scenario(
+        spec,
+        progress=progress, jobs=jobs, timeout=timeout, retries=retries,
+        backoff=backoff, chaos=chaos, journal=journal,
+    )
+
+
+def run_scenario(
+    spec: MatrixSpec,
+    *,
+    progress: bool = False,
+    jobs: Optional[int] = None,
+    timeout: Optional[float] = None,
+    retries: Optional[int] = None,
+    backoff: Optional[float] = None,
+    chaos: Optional[Union[ChaosSpec, str]] = None,
+    journal: Optional[bool] = None,
+) -> ResultMatrix:
+    """Run every cell of ``spec`` — the scenario-first matrix engine.
+
+    ``spec`` is the single identity authority for the whole run: the
+    journal run id is ``spec.run_id()``, the ``run_start`` record
+    carries ``spec.spec_hash()``, and each cell is cached under its
+    :meth:`~repro.scenarios.spec.ScenarioSpec.digest`.  See
+    :func:`run_matrix` for the execution/retry/journal contract.
+    """
+    cells = spec.cells()
     keys = [
-        RunKey(app.upper(), policy, rate)
-        for rate in rates
-        for app in apps
-        for policy in policies
+        RunKey(cell.workload, cell.policy, cell.rate) for cell in cells
     ]
+    cell_specs = dict(zip(keys, cells))
     matrix = ResultMatrix()
     if not keys:
         # No work: return the empty matrix before any pool is sized.
@@ -513,22 +591,14 @@ def run_matrix(
     observing = obs_module.enabled()
     chaos_spec = resil_chaos.resolve(chaos)
     caching = sim_cache.cache_enabled() and not observing
-    run_id, spec_hash = matrix_run_id(
-        policies, rates, apps,
-        seed=seed, scale=scale, config=config, hpe_config=hpe_config,
-    )
+    run_id = spec.run_id()
+    spec_hash = spec.spec_hash()
     matrix.run_id = run_id
     journaling = (
         journal if journal is not None
         else resil_module.journal_enabled() and caching
     )
-    digests = {
-        key: sim_cache.fingerprint(
-            key.app, key.policy, key.rate,
-            seed=seed, scale=scale, config=config, hpe_config=hpe_config,
-        )
-        for key in keys
-    }
+    digests = {key: cell_specs[key].digest() for key in keys}
 
     def note(key: RunKey, suffix: str = "...") -> None:
         if progress:
@@ -545,13 +615,14 @@ def run_matrix(
             schema=resil_journal.JOURNAL_SCHEMA_VERSION,
             run_id=run_id,
             spec_hash=spec_hash,
-            policies=[p.lower() for p in policies],
-            rates=list(rates),
-            apps=[a.upper() for a in apps],
-            seed=seed,
-            scale=scale,
+            family=spec.family,
+            policies=list(spec.policies),
+            rates=list(spec.rates),
+            apps=list(spec.apps),
+            seed=spec.seed,
+            scale=spec.scale,
+            prefetch=spec.prefetch_degree,
             total_jobs=len(keys),
-            custom_config=config is not None or hpe_config is not None,
         )
 
     # Terminal-outcome tallies, updated as outcomes land (the matrix
@@ -641,21 +712,21 @@ def run_matrix(
         # path can retry but never kill a hung simulation.
         if jobs == 1:
             _run_serial(
-                matrix, remaining,
-                seed=seed, scale=scale, config=config,
-                hpe_config=hpe_config, chaos_spec=chaos_spec,
+                matrix, remaining, cell_specs,
+                chaos_spec=chaos_spec,
                 retries=resil_supervisor.resolve_retries(retries),
                 backoff=resil_supervisor.resolve_backoff(backoff),
                 note=note, journal_done=journal_done,
                 journal_failed=journal_failed,
             )
         else:
-            trace_store = _publish_traces(remaining, seed=seed, scale=scale)
+            trace_store = _publish_traces(
+                remaining, seed=spec.seed, scale=spec.scale
+            )
             try:
                 _run_supervised(
-                    matrix, remaining,
-                    seed=seed, scale=scale, config=config,
-                    hpe_config=hpe_config, observing=observing,
+                    matrix, remaining, cell_specs,
+                    observing=observing,
                     jobs=jobs, timeout=timeout, retries=retries,
                     backoff=backoff, chaos_spec=chaos_spec,
                     trace_store=trace_store,
@@ -684,11 +755,8 @@ def run_matrix(
 def _run_serial(
     matrix: ResultMatrix,
     keys: Sequence[RunKey],
+    cell_specs: dict[RunKey, ScenarioSpec],
     *,
-    seed: int,
-    scale: float,
-    config: Optional[GPUConfig],
-    hpe_config: Optional[HPEConfig],
     chaos_spec: Optional[ChaosSpec],
     retries: int,
     backoff: float,
@@ -719,11 +787,7 @@ def _run_serial(
                         action = chaos_spec.worker_action(job_key, attempt)
                         if action is not None:
                             _chaos_serial_raise(action, job_key, attempt)
-                    result = run_application(
-                        key.app, key.policy, key.rate,
-                        seed=seed, scale=scale,
-                        config=config, hpe_config=hpe_config,
-                    )
+                    result = run_spec(cell_specs[key])
                 except Exception as exc:  # noqa: BLE001 — degraded, not hidden
                     if attempt <= retries:
                         total_retries += 1
@@ -789,11 +853,8 @@ def _publish_traces(keys: Sequence[RunKey], *, seed: int, scale: float):
 def _run_supervised(
     matrix: ResultMatrix,
     keys: Sequence[RunKey],
+    cell_specs: dict[RunKey, ScenarioSpec],
     *,
-    seed: int,
-    scale: float,
-    config: Optional[GPUConfig],
-    hpe_config: Optional[HPEConfig],
     observing: bool,
     jobs: int,
     timeout: Optional[float],
@@ -820,8 +881,7 @@ def _run_supervised(
     items = [
         (
             job_keys[key],
-            (key.app, key.policy, key.rate, seed, scale, config,
-             hpe_config, observing, trace_handle),
+            (cell_specs[key], observing, trace_handle),
         )
         for key in keys
     ]

@@ -33,9 +33,29 @@ from pathlib import Path
 from typing import IO, Optional, Union
 
 #: Bump when the journal's observable structure changes.
-JOURNAL_SCHEMA_VERSION = 1
+#: v2: ``run_start`` identifies the run by the scenario spec hash
+#:     (:meth:`repro.scenarios.spec.MatrixSpec.spec_hash`) plus the
+#:     ``family`` / ``prefetch`` fields needed to reconstruct the spec;
+#:     the unreliable ``custom_config: bool`` is retired — resume now
+#:     *proves* spec equality by recomputing the hash instead of
+#:     trusting a flag.
+JOURNAL_SCHEMA_VERSION = 2
 
 _NoneType = type(None)
+
+#: ``run_start`` as written by schema v1 journals (still readable).
+_RUN_START_V1: dict[str, tuple] = {
+    "schema": (int,),
+    "run_id": (str,),
+    "spec_hash": (str,),
+    "policies": (list,),
+    "rates": (list,),
+    "apps": (list,),
+    "seed": (int,),
+    "scale": (int, float),
+    "total_jobs": (int,),
+    "custom_config": (bool,),
+}
 
 #: Per-type required fields (beyond ``type`` and ``seq``) and accepted
 #: Python types after a JSON round-trip.
@@ -45,13 +65,14 @@ JOURNAL_SCHEMA: dict[str, dict[str, tuple]] = {
         "schema": (int,),
         "run_id": (str,),
         "spec_hash": (str,),
+        "family": (str,),
         "policies": (list,),
         "rates": (list,),
         "apps": (list,),
         "seed": (int,),
         "scale": (int, float),
+        "prefetch": (int,),
         "total_jobs": (int,),
-        "custom_config": (bool,),
     },
     # One per job that produced a result (simulated or cache hit).
     "job_done": {
@@ -108,6 +129,8 @@ def validate_record(record: object) -> None:
     if not isinstance(seq, int) or isinstance(seq, bool) or seq < 0:
         raise JournalError(f"{record_type}: 'seq' must be a non-negative int")
     fields = JOURNAL_SCHEMA[record_type]
+    if record_type == "run_start" and record.get("schema") == 1:
+        fields = _RUN_START_V1  # journals written before the spec refactor
     for name, accepted in fields.items():
         if name not in record:
             raise JournalError(f"{record_type}: missing field {name!r}")

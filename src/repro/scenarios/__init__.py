@@ -1,0 +1,50 @@
+"""Scenario specs and registry — the single experiment-identity authority.
+
+* :mod:`repro.scenarios.spec` — :class:`ScenarioSpec` (one simulation
+  cell) and :class:`MatrixSpec` (a grid), whose ``canonical()`` strings
+  are the sole source of every identity hash in the repo;
+* :mod:`repro.scenarios.registry` — named scenarios (``hpe-repro
+  scenarios list|show|run``);
+* :mod:`repro.scenarios.manifest` — pinned spec hashes of every
+  registered scenario, verified in CI.
+"""
+
+from repro.scenarios.registry import (
+    RegisteredScenario,
+    all_scenarios,
+    get_scenario,
+    register,
+    registry_digests,
+    scenario_names,
+    unregister,
+    verify_manifest,
+)
+from repro.scenarios.spec import (
+    DEFAULT_SEED,
+    GOLDEN_FAMILY,
+    KNOWN_FAMILIES,
+    PAPER_FAMILY,
+    MatrixSpec,
+    ScenarioError,
+    ScenarioSpec,
+    stable_config_repr,
+)
+
+__all__ = [
+    "DEFAULT_SEED",
+    "GOLDEN_FAMILY",
+    "KNOWN_FAMILIES",
+    "MatrixSpec",
+    "PAPER_FAMILY",
+    "RegisteredScenario",
+    "ScenarioError",
+    "ScenarioSpec",
+    "all_scenarios",
+    "get_scenario",
+    "register",
+    "registry_digests",
+    "scenario_names",
+    "stable_config_repr",
+    "unregister",
+    "verify_manifest",
+]

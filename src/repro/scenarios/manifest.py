@@ -1,0 +1,29 @@
+"""Pinned spec hashes for every registered scenario.
+
+``hpe-repro scenarios verify`` (run in CI and in the tier-1 suite)
+recomputes each registered scenario's
+:meth:`~repro.scenarios.spec.MatrixSpec.spec_hash` and compares it
+against this table.  A mismatch means experiment identity drifted — a
+canonical-form change, a default config value, a schema bump — and the
+fix is a *deliberate* update of this file in the same commit (bumping
+``CACHE_SCHEMA_VERSION`` whenever cached results are invalidated), never
+a silent re-keying of caches and journals.
+
+Regenerate with::
+
+    PYTHONPATH=src python -c "from repro.scenarios import registry; \
+print('\n'.join(f'    \"{n}\": \"{d}\",' \
+for n, d in registry.registry_digests().items()))"
+"""
+
+from __future__ import annotations
+
+#: ``{scenario name: MatrixSpec.spec_hash()}`` at CACHE_SCHEMA_VERSION 4
+#: / JOURNAL_SCHEMA_VERSION 2.
+SCENARIO_DIGESTS: dict[str, str] = {
+    "paper-baselines": "f5f2d666b89fb1d05660134fd15e0568cc9605daa845612c8108e422ab89b5f7",
+    "paper-grid": "fcb15d1b7d38289b10f64e9091351b0ccd60f28e971a57a37254774b12e8714c",
+    "prefetch-64k": "868f677fad0b793be4b41b7e71d733f6ddcefc2ca71f8e7301b52e615aa18d65",
+    "smoke": "3ea82d5db7f5291701aff5def7ab437bc5029f95f51e1cfc28ae46beec6d5ebf",
+    "walk-latency-20": "f773be5d19d04d0808a7ced7a5c6d74991e6a5b82563b244f97b9bd7428322b5",
+}

@@ -1,0 +1,191 @@
+"""Named scenario registry — the experiments the repo knows by name.
+
+The registry maps short names to :class:`~repro.scenarios.spec.MatrixSpec`
+instances so experiments can be listed, inspected, and launched without
+hand-assembling a grid — ``hpe-repro scenarios list|show|run NAME`` — and
+so the serving layer (ROADMAP item 1) can validate client requests
+against a closed set cheaply.
+
+Identity discipline: every registered scenario's ``spec_hash`` is pinned
+in :mod:`repro.scenarios.manifest`.  ``hpe-repro scenarios verify`` (run
+in CI) recomputes the hashes and fails on any drift, so a change to the
+canonical form, a default config value, or a schema version is always a
+*deliberate*, reviewable diff of the manifest — bumped together with
+``CACHE_SCHEMA_VERSION`` — never a silent cache/journal invalidation.
+
+Built-ins are registered lazily on first access: the paper grid needs
+:data:`~repro.experiments.runner.POLICY_NAMES` and the application
+suite, which import a good chunk of the world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.scenarios.spec import MatrixSpec, ScenarioError
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """One named entry: the spec plus a human-readable description."""
+
+    name: str
+    description: str
+    spec: MatrixSpec
+
+
+_REGISTRY: dict[str, RegisteredScenario] = {}
+_BUILTINS_LOADED = False
+
+
+def register(
+    name: str,
+    spec: MatrixSpec,
+    description: str = "",
+    replace: bool = False,
+) -> RegisteredScenario:
+    """Add a named scenario; re-registration requires ``replace=True``."""
+    if not name or any(ch.isspace() for ch in name):
+        raise ScenarioError(
+            f"scenario name must be non-empty and whitespace-free, "
+            f"got {name!r}"
+        )
+    if not replace and name in _REGISTRY:
+        raise ScenarioError(f"scenario {name!r} is already registered")
+    entry = RegisteredScenario(name=name, description=description, spec=spec)
+    _REGISTRY[name] = entry
+    return entry
+
+
+def unregister(name: str) -> None:
+    """Remove a named scenario (test isolation hook)."""
+    _REGISTRY.pop(name, None)
+
+
+def get_scenario(name: str) -> RegisteredScenario:
+    """Look up one scenario; unknown names list what *is* registered."""
+    _ensure_builtins()
+    entry = _REGISTRY.get(name)
+    if entry is None:
+        raise ScenarioError(
+            f"unknown scenario {name!r}; "
+            f"known: {', '.join(scenario_names())}"
+        )
+    return entry
+
+
+def scenario_names() -> list[str]:
+    """Registered names, sorted."""
+    _ensure_builtins()
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> list[RegisteredScenario]:
+    """Every registered scenario, sorted by name."""
+    _ensure_builtins()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def registry_digests() -> dict[str, str]:
+    """``{name: spec_hash}`` for every registered scenario."""
+    return {
+        entry.name: entry.spec.spec_hash() for entry in all_scenarios()
+    }
+
+
+def verify_manifest() -> list[str]:
+    """Compare live registry digests against the committed manifest.
+
+    Returns one human-readable line per drifted, missing, or unpinned
+    scenario; empty means every hash matches.
+    """
+    from repro.scenarios.manifest import SCENARIO_DIGESTS
+
+    problems: list[str] = []
+    live = registry_digests()
+    for name in sorted(set(live) | set(SCENARIO_DIGESTS)):
+        if name not in SCENARIO_DIGESTS:
+            problems.append(
+                f"{name}: registered but not pinned in "
+                "repro/scenarios/manifest.py"
+            )
+        elif name not in live:
+            problems.append(f"{name}: pinned in the manifest but not "
+                            "registered")
+        elif live[name] != SCENARIO_DIGESTS[name]:
+            problems.append(
+                f"{name}: spec hash {live[name]} != pinned "
+                f"{SCENARIO_DIGESTS[name]} — experiment identity drifted; "
+                "if intentional, update repro/scenarios/manifest.py "
+                "(and bump CACHE_SCHEMA_VERSION when cached results are "
+                "affected)"
+            )
+    return problems
+
+
+def _ensure_builtins() -> None:
+    """Register the built-in scenarios exactly once (lazy, idempotent)."""
+    global _BUILTINS_LOADED
+    if _BUILTINS_LOADED:
+        return
+    _BUILTINS_LOADED = True
+
+    from repro.experiments.runner import PAPER_RATES, POLICY_NAMES
+    from repro.sim.config import GPUConfig
+    from repro.workloads.suite import APPLICATION_ORDER
+
+    paper_policies = ("ideal", "lru", "random", "rrip", "clock-pro", "hpe")
+
+    register(
+        "paper-grid",
+        MatrixSpec(
+            policies=tuple(POLICY_NAMES),
+            rates=PAPER_RATES,
+            apps=tuple(APPLICATION_ORDER),
+        ),
+        "Every policy (paper + extensions) x both paper rates x the "
+        "full 23-application suite",
+    )
+    register(
+        "paper-baselines",
+        MatrixSpec(
+            policies=paper_policies,
+            rates=PAPER_RATES,
+            apps=tuple(APPLICATION_ORDER),
+        ),
+        "The paper's six evaluated policies on the full suite "
+        "(Figs. 3/7-15 source grid)",
+    )
+    register(
+        "smoke",
+        MatrixSpec(
+            policies=("lru", "hpe"),
+            rates=(0.75,),
+            apps=("BFS", "STN", "HOT"),
+            scale=0.25,
+        ),
+        "Two policies x three small apps at quarter scale (CI smoke "
+        "grid)",
+    )
+    register(
+        "walk-latency-20",
+        MatrixSpec(
+            policies=("lru", "hpe"),
+            rates=(0.75,),
+            apps=tuple(APPLICATION_ORDER),
+            config=GPUConfig().with_walk_latency(20),
+        ),
+        "Section V-B sensitivity point: 20-cycle page walks instead of "
+        "the default 8",
+    )
+    register(
+        "prefetch-64k",
+        MatrixSpec(
+            policies=("lru", "hpe"),
+            rates=(0.75,),
+            apps=tuple(APPLICATION_ORDER),
+            prefetch_degree=15,
+        ),
+        "Fault-around extension grid: degree 15 matches Pascal's 64 KB "
+        "fault-around granularity",
+    )

@@ -32,7 +32,6 @@ read and is treated as a *miss* (recompute heals it), never a crash.
 
 from __future__ import annotations
 
-import dataclasses
 import hashlib
 import os
 import pickle
@@ -43,6 +42,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.core.hpe import HPEConfig
 from repro.resil import atomic as resil_atomic
 from repro.resil import chaos as resil_chaos
+from repro.scenarios.spec import ScenarioSpec, stable_config_repr
 from repro.sim.config import GPUConfig
 from repro.sim.results import SimulationResult
 from repro.workloads.base import Trace
@@ -57,7 +57,10 @@ if TYPE_CHECKING:
 #: v3: fault-around neighbours migrate before the demand page (a
 #:     prefetch eviction could previously evict the page being
 #:     serviced), changing prefetch-run metrics.
-CACHE_SCHEMA_VERSION = 3
+#: v4: the canonical identity string is ScenarioSpec.canonical() — it
+#:     gained the ``family`` and ``params`` fields, so every digest
+#:     moved; old entries are unreachable, not wrong.
+CACHE_SCHEMA_VERSION = 4
 
 ENV_CACHE_DIR = "REPRO_CACHE_DIR"
 ENV_CACHE_ENABLED = "REPRO_CACHE"
@@ -129,17 +132,9 @@ class CacheStats:
         registry.set_gauge("cache.trace_misses", self.trace_misses)
 
 
-def _stable_config_repr(config: object) -> str:
-    """Deterministic text form of a (possibly nested) config dataclass."""
-    if config is None:
-        return "None"
-    if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        fields = ", ".join(
-            f"{f.name}={_stable_config_repr(getattr(config, f.name))}"
-            for f in dataclasses.fields(config)
-        )
-        return f"{type(config).__name__}({fields})"
-    return repr(config)
+#: Backwards-compatible alias — the canonical implementation moved to
+#: :func:`repro.scenarios.spec.stable_config_repr` with the spec refactor.
+_stable_config_repr = stable_config_repr
 
 
 def fingerprint(
@@ -155,29 +150,24 @@ def fingerprint(
 ) -> str:
     """Content address of one simulation run.
 
-    Any input that can change the :class:`SimulationResult` is folded in;
-    ``hpe_config`` only participates for HPE runs (it cannot affect any
-    other policy, and normalising it keeps sensitivity sweeps sharing
-    entries for their non-HPE baselines).
+    A thin adapter over :meth:`repro.scenarios.spec.ScenarioSpec.digest`
+    — the spec's ``canonical()`` string is the single identity authority
+    (DESIGN.md §10), so any input that can change the
+    :class:`SimulationResult` is folded in and ``hpe_config`` only
+    participates for HPE runs (it cannot affect any other policy, and
+    normalising it keeps sensitivity sweeps sharing entries for their
+    non-HPE baselines).
     """
-    policy = policy.lower()
-    effective_hpe: Optional[HPEConfig]
-    if policy == "hpe":
-        effective_hpe = hpe_config or HPEConfig()
-    else:
-        effective_hpe = None
-    canonical = "|".join([
-        f"schema={CACHE_SCHEMA_VERSION}",
-        f"app={app.upper()}",
-        f"policy={policy}",
-        f"rate={rate!r}",
-        f"seed={seed}",
-        f"scale={scale!r}",
-        f"prefetch={prefetch_degree}",
-        f"config={_stable_config_repr(config or GPUConfig())}",
-        f"hpe={_stable_config_repr(effective_hpe)}",
-    ])
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+    return ScenarioSpec(
+        workload=app,
+        policy=policy,
+        rate=rate,
+        seed=seed,
+        scale=scale,
+        config=config,
+        hpe_config=hpe_config,
+        prefetch_degree=prefetch_degree,
+    ).digest()
 
 
 def trace_fingerprint(abbr: str, seed: int, scale: float) -> str:

@@ -39,6 +39,7 @@ from repro.uvm.driver import UVMDriver
 
 if TYPE_CHECKING:
     from repro.obs import Observation
+    from repro.scenarios.spec import ScenarioSpec
 
 
 class UVMSimulator:
@@ -93,6 +94,32 @@ class UVMSimulator:
         if sanitize:
             self.checker = check_module.make_checker(self)
             self.driver.checker = self.checker
+
+    @classmethod
+    def for_scenario(
+        cls,
+        spec: "ScenarioSpec",
+        policy: EvictionPolicy,
+        capacity_pages: int,
+        obs: Optional["Observation"] = None,
+        sanitize: Optional[bool] = None,
+    ) -> "UVMSimulator":
+        """Build a simulator from a scenario spec's machine parameters.
+
+        The spec contributes exactly the fields that shape the machine —
+        ``effective_config`` (normalised, so ``None`` and the default
+        ``GPUConfig()`` build identical simulators) and
+        ``prefetch_degree``; policy construction stays with the caller
+        because it needs the trace-derived capacity.
+        """
+        return cls(
+            policy,
+            capacity_pages,
+            config=spec.effective_config,
+            prefetch_degree=spec.prefetch_degree,
+            obs=obs,
+            sanitize=sanitize,
+        )
 
     def run(
         self,

@@ -25,13 +25,14 @@ def _start_fields(**overrides):
         schema=JOURNAL_SCHEMA_VERSION,
         run_id="run-test",
         spec_hash="abc123",
+        family="paper",
         policies=["lru"],
         rates=[50],
         apps=["STN"],
         seed=42,
         scale=0.25,
+        prefetch=0,
         total_jobs=1,
-        custom_config=False,
     )
     fields.update(overrides)
     return fields
@@ -69,6 +70,29 @@ def _failed_fields(digest="d1", **overrides):
 class TestValidateRecord:
     def test_valid_run_start(self):
         validate_record({"type": "run_start", "seq": 0, **_start_fields()})
+
+    def test_v1_run_start_still_validates(self):
+        """Journals written before the spec-hash refactor remain readable."""
+        v1 = dict(
+            schema=1,
+            run_id="run-test",
+            spec_hash="abc123",
+            policies=["lru"],
+            rates=[50],
+            apps=["STN"],
+            seed=42,
+            scale=0.25,
+            total_jobs=1,
+            custom_config=False,
+        )
+        validate_record({"type": "run_start", "seq": 0, **v1})
+
+    def test_v2_run_start_requires_family_and_prefetch(self):
+        for missing in ("family", "prefetch", "spec_hash"):
+            fields = _start_fields()
+            del fields[missing]
+            with pytest.raises(JournalError):
+                validate_record({"type": "run_start", "seq": 0, **fields})
 
     def test_not_a_dict(self):
         with pytest.raises(JournalError):

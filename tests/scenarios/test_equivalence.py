@@ -1,0 +1,155 @@
+"""Acceptance: legacy grid arguments and explicit specs are one identity.
+
+The PR's contract: constructing the paper grid through the legacy
+``run_matrix`` signature and through an explicit
+:class:`~repro.scenarios.spec.MatrixSpec` must produce identical run
+ids, identical per-cell cache digests, and bit-identical
+``key_metrics()`` — with the second form served warm from the cache the
+first form populated.  Plus the regression the spec refactor exists to
+fix: ``run_matrix(config=GPUConfig())`` resumes the journal written by
+``run_matrix()``.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.runner import (
+    RunKey,
+    matrix_run_id,
+    run_matrix,
+    run_scenario,
+)
+from repro.resil import MatrixInterrupted
+from repro.resil import chaos as resil_chaos
+from repro.resil import journal as resil_journal
+from repro.scenarios.spec import MatrixSpec
+from repro.sim import cache as sim_cache
+from repro.sim.config import GPUConfig
+
+APPS = ("STN", "HOT")
+POLICIES = ("lru", "ideal")
+RATES = (0.5,)
+SCALE = 0.25
+
+
+@pytest.fixture(autouse=True)
+def _chaos_clean():
+    resil_chaos.deactivate()
+    yield
+    resil_chaos.deactivate()
+
+
+@pytest.fixture
+def fresh_cache(tmp_path):
+    previous = sim_cache.cache_dir()
+    sim_cache.configure(enabled=True, directory=tmp_path / "cache")
+    yield tmp_path / "cache"
+    sim_cache.configure(enabled=True, directory=previous)
+
+
+def _key_metrics(matrix):
+    return {key: result.key_metrics()
+            for key, result in matrix.results.items()}
+
+
+class TestLegacyAndSpecForms:
+    def test_paper_grid_both_forms_identical(self, fresh_cache):
+        """The ISSUE acceptance test, on a scaled-down paper grid."""
+        spec = MatrixSpec(policies=POLICIES, rates=RATES, apps=APPS,
+                          scale=SCALE)
+
+        legacy = run_matrix(list(POLICIES), rates=list(RATES),
+                            apps=list(APPS), scale=SCALE)
+        hits_before = sim_cache.result_cache().stats.result_hits
+        explicit = run_scenario(spec)
+        hits_after = sim_cache.result_cache().stats.result_hits
+
+        # Identical run ids...
+        assert legacy.run_id == explicit.run_id == spec.run_id()
+        # ...identical cell digests...
+        legacy_digests = {k: r.extras["scenario_digest"]
+                          for k, r in legacy.results.items()}
+        spec_digests = {
+            RunKey(c.workload, c.policy, c.rate): c.digest()
+            for c in spec.cells()
+        }
+        assert legacy_digests == spec_digests
+        # ...bit-identical key metrics...
+        assert _key_metrics(legacy) == _key_metrics(explicit)
+        # ...with every cell of the second form a warm cache hit.
+        assert hits_after - hits_before == len(spec.cells())
+
+    def test_run_id_ignores_explicit_default_configs(self):
+        """The drift bug: None and default instances hash identically."""
+        bare = matrix_run_id(POLICIES, RATES, APPS, seed=7, scale=SCALE)
+        explicit = matrix_run_id(POLICIES, RATES, APPS, seed=7, scale=SCALE,
+                                 config=GPUConfig())
+        assert bare == explicit
+        # A config that actually differs still separates the runs.
+        tuned = matrix_run_id(POLICIES, RATES, APPS, seed=7, scale=SCALE,
+                              config=GPUConfig().with_walk_latency(20))
+        assert tuned != bare
+
+    def test_cross_form_resume(self, fresh_cache):
+        """A run interrupted under the bare form resumes under the
+        explicit-default-config form — the exact call pair the old
+        ``matrix_run_id`` split into two unrelated journals."""
+        with pytest.raises(MatrixInterrupted) as excinfo:
+            run_matrix(list(POLICIES), rates=list(RATES), apps=list(APPS),
+                       scale=SCALE, chaos="sigterm=2,seed=3", backoff=0.0)
+        interrupted = excinfo.value
+        assert interrupted.completed == 2
+
+        resumed = run_matrix(list(POLICIES), rates=list(RATES),
+                             apps=list(APPS), scale=SCALE,
+                             config=GPUConfig())
+        assert resumed.run_id == interrupted.run_id
+        assert len(resumed.results) == 4
+        summary = resil_journal.load(interrupted.run_id)
+        assert summary is not None
+        assert summary.ended and summary.segments == 2
+
+    def test_journal_records_spec_hash(self, fresh_cache):
+        matrix = run_matrix(["lru"], rates=list(RATES), apps=["STN"],
+                            scale=SCALE)
+        summary = resil_journal.load(matrix.run_id)
+        assert summary is not None
+        spec = MatrixSpec(policies=("lru",), rates=RATES, apps=("STN",),
+                          scale=SCALE)
+        assert summary.spec["spec_hash"] == spec.spec_hash()
+        assert "custom_config" not in summary.spec
+        assert summary.spec["family"] == "paper"
+        assert summary.spec["prefetch"] == 0
+
+
+class TestPrefetchSweepCaching:
+    def test_sweep_cells_are_cached(self, fresh_cache):
+        from repro.experiments.sensitivity import prefetch
+
+        first = prefetch(apps=["HOT"], degrees=(0, 3), scale=SCALE)
+        hits_before = sim_cache.result_cache().stats.result_hits
+        second = prefetch(apps=["HOT"], degrees=(0, 3), scale=SCALE)
+        hits_after = sim_cache.result_cache().stats.result_hits
+        assert hits_after - hits_before == 2  # both cells served warm
+        assert first.rows == second.rows
+
+    def test_nan_baseline_stays_nan(self, monkeypatch):
+        """A NaN degree-0 mean must surface as NaN columns, not silently
+        normalise every row by a NaN (the old ``or 1.0`` treated NaN as
+        truthy and propagated it as a denominator)."""
+        from repro.experiments import sensitivity
+
+        def _nan_run(app, policy, rate, **kwargs):
+            class _Result:
+                faults = 10
+                ipc = float("nan")
+            return _Result()
+
+        monkeypatch.setattr(sensitivity, "run_application", _nan_run)
+        with pytest.warns(RuntimeWarning):
+            result = sensitivity.prefetch(apps=["HOT"], degrees=(0, 3))
+        for row in result.rows:
+            assert math.isnan(row[2])

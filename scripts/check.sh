@@ -1,25 +1,33 @@
 #!/usr/bin/env bash
-# Run the full correctness gate locally — the same three layers CI runs:
+# Run the full correctness gate locally — the same layers CI runs:
 #
-#   1. repro lint       custom AST rules REP001-REP008
+#   1. repro lint       custom AST rules REP001-REP013 (incl. the
+#                       whole-program flow rules and stale-noqa audit)
 #   2. repro typecheck  mypy strict (if installed) + annotation gate
-#   3. sanitized runs   every policy on two suite apps under
+#   3. flow staleness   fault-path closure fingerprints vs the pinned
+#                       manifest (REP009)
+#   4. sanitized runs   every policy on two suite apps under
 #                       REPRO_SANITIZE, asserting zero violations and
 #                       bit-identical metrics (tests/check)
 #
 # Usage: scripts/check.sh [--fast]
-#   --fast  skip the sanitized-equivalence matrix (lint + typing only)
+#   --fast  skip the sanitized-equivalence matrix (lint + typing +
+#           flow staleness only)
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
 echo "== repro lint =="
-python -m repro.cli lint src tests scripts
+python -m repro.cli lint src tests scripts --statistics
 
 echo
 echo "== repro typecheck =="
 python -m repro.cli typecheck
+
+echo
+echo "== repro flow staleness =="
+python -m repro.cli flow staleness
 
 if [[ "${1:-}" != "--fast" ]]; then
   echo

@@ -1,0 +1,111 @@
+"""Whole-program flow analyzer: fault-path fingerprints and flow rules.
+
+Public surface:
+
+- :func:`analyze` — parse ``src/repro``, build the call graph, and
+  compute the fault-path closure (one :class:`FlowAnalysis`).
+- :func:`check_staleness` / :func:`pin_manifest` — the REP009 gate
+  against the checked-in ``flow_manifest.json``.
+- :func:`run_flow_rules` — REP010 (spec-coverage taint), REP011
+  (worker-global mutation), REP012 (determinism hazards), as ordinary
+  lint findings.
+
+See :mod:`repro.check.flow.model` for the program model and
+``DESIGN.md`` §11 for the analyzer design and rule table.
+"""
+
+from __future__ import annotations
+
+from repro.check.flow.callgraph import (
+    CallGraph,
+    build_callgraph,
+    module_closure,
+)
+from repro.check.flow.fingerprint import (
+    FlowAnalysis,
+    FlowManifest,
+    StalenessReport,
+    analyze,
+    check_staleness,
+    closure_digest,
+    closure_fingerprints,
+    compute_manifest,
+    default_manifest_path,
+    load_manifest,
+    normalized_hash,
+    pin_manifest,
+)
+from repro.check.flow.model import (
+    DEFAULT_FLOW_CONFIG,
+    FlowConfig,
+    Program,
+    TrackedClass,
+    load_program,
+)
+from repro.check.flow.rules import (
+    SpecCoverage,
+    _Findings,
+    compute_spec_coverage,
+    determinism_findings,
+    spec_coverage_findings,
+    worker_safety_findings,
+)
+from repro.check.lint import LintFinding
+
+__all__ = [
+    "CallGraph",
+    "DEFAULT_FLOW_CONFIG",
+    "FlowAnalysis",
+    "FlowConfig",
+    "FlowManifest",
+    "Program",
+    "SpecCoverage",
+    "StalenessReport",
+    "TrackedClass",
+    "analyze",
+    "build_callgraph",
+    "check_staleness",
+    "closure_digest",
+    "closure_fingerprints",
+    "compute_manifest",
+    "compute_spec_coverage",
+    "default_manifest_path",
+    "determinism_findings",
+    "load_manifest",
+    "load_program",
+    "module_closure",
+    "normalized_hash",
+    "pin_manifest",
+    "run_flow_rules",
+    "run_flow_rules_report",
+    "spec_coverage_findings",
+    "worker_safety_findings",
+]
+
+
+def run_flow_rules_report(
+    analysis: FlowAnalysis,
+) -> tuple[list[LintFinding], list[LintFinding]]:
+    """(active, noqa-suppressed) REP010–REP012 findings.
+
+    The suppressed list feeds the lint pass's stale-noqa audit
+    (REP013) and ``--statistics``.
+    """
+    program, config = analysis.program, analysis.config
+    collector = _Findings()
+    spec_coverage_findings(
+        program, config, analysis.closure, collector=collector
+    )
+    worker_safety_findings(program, config, collector=collector)
+    determinism_findings(program, analysis.closure, collector=collector)
+    def key(f: LintFinding) -> tuple[str, int, int, str]:
+        return (f.path, f.line, f.col, f.code)
+
+    return sorted(collector.items, key=key), sorted(
+        collector.suppressed, key=key
+    )
+
+
+def run_flow_rules(analysis: FlowAnalysis) -> list[LintFinding]:
+    """REP010 + REP011 + REP012 over one computed analysis."""
+    return run_flow_rules_report(analysis)[0]

@@ -1,0 +1,441 @@
+"""Flow rules REP010–REP012 over the fault-path closure.
+
+======== ==============================================================
+Code     Rule
+======== ==============================================================
+REP010   Spec-coverage taint: an attribute of ``GPUConfig`` /
+         ``HPEConfig`` / ``ScenarioSpec`` is read inside the fault-path
+         closure but never enters ``ScenarioSpec.canonical()`` — two
+         runs differing only in that field would share one cache entry.
+REP011   Worker safety: a function reachable from a supervised-worker
+         entry point rebinds a module global.  Workers are forked (or
+         spawned) processes — the rebind never propagates back, and the
+         pre-fork value silently leaks in.
+REP012   Determinism hazards on the fault path: wall-clock reads,
+         ``os.environ`` reads, module-level numpy RNG, and iteration
+         over unordered sets.  Cached results must be a pure function
+         of the spec.
+======== ==============================================================
+
+Suppression works exactly like the per-file lint rules: ``# noqa`` /
+``# noqa: REP01x`` on the flagged line, with the justification expected
+in the trailing comment.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Optional
+
+from repro.check.flow.callgraph import _immediate_body, build_callgraph
+from repro.check.flow.model import (
+    FlowConfig,
+    FunctionInfo,
+    ModuleInfo,
+    Program,
+    _attribute_class,
+    infer_expr_class,
+    infer_receiver_types,
+)
+from repro.check.lint import _NOQA_RE, LintFinding
+
+#: Wall-clock call targets (dotted text) that make cached results
+#: depend on when — not just what — was run.
+_TIME_CALLS = frozenset({
+    "time.time", "time.monotonic", "time.perf_counter",
+    "time.process_time", "time.time_ns", "time.monotonic_ns",
+    "time.perf_counter_ns", "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+#: ``np.random.X`` members that construct *seeded* generators — these
+#: are how seeded numpy randomness is supposed to enter.
+_SEEDED_NP_MEMBERS = frozenset({
+    "default_rng", "Generator", "SeedSequence", "RandomState",
+    "PCG64", "Philox",
+})
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        base = _dotted(node.value)
+        return f"{base}.{node.attr}" if base is not None else None
+    return None
+
+
+def _rel_path(module: ModuleInfo) -> str:
+    try:
+        return str(module.path.relative_to(Path.cwd()))
+    except ValueError:
+        return str(module.path)
+
+
+def _suppressed(module: ModuleInfo, line: int, code: str) -> bool:
+    if not 1 <= line <= len(module.source_lines):
+        return False
+    match = _NOQA_RE.search(module.source_lines[line - 1])
+    if match is None:
+        return False
+    codes = match.group("codes")
+    if codes is None:
+        return True
+    return code.upper() in {c.strip().upper() for c in codes.split(",")}
+
+
+class _Findings:
+    """Collector applying noqa suppression per flagged line.
+
+    Suppressed findings are kept on the side: the lint pass's stale-noqa
+    audit (REP013) and ``--statistics`` need to know what every noqa
+    actually silenced.
+    """
+
+    def __init__(self) -> None:
+        self.items: list[LintFinding] = []
+        self.suppressed: list[LintFinding] = []
+
+    def report(
+        self,
+        module: ModuleInfo,
+        node: ast.AST,
+        code: str,
+        message: str,
+        line: Optional[int] = None,
+    ) -> None:
+        at = line if line is not None else getattr(node, "lineno", 1)
+        finding = LintFinding(
+            code=code,
+            path=_rel_path(module),
+            line=at,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
+        )
+        if _suppressed(module, at, code):
+            self.suppressed.append(finding)
+        else:
+            self.items.append(finding)
+
+
+def _receiver_class(
+    program: Program, types: dict[str, str], receiver: str
+) -> Optional[str]:
+    """Class qualname behind dotted receiver text, where inferable."""
+    if receiver in types:
+        return types[receiver]
+    head, _, rest = receiver.partition(".")
+    if not rest:
+        return None
+    current: Optional[str] = types.get(head)
+    for part in rest.split("."):
+        if current is None:
+            return None
+        current = _attribute_class(program, current, part)
+    return current
+
+
+# -- REP010: spec-coverage taint -------------------------------------------
+
+
+@dataclass
+class SpecCoverage:
+    """What ``ScenarioSpec.canonical()`` actually hashes."""
+
+    #: class qualname -> attribute names entering the canonical string.
+    covered: dict[str, set[str]] = field(default_factory=dict)
+    #: Classes serialised whole (``stable_config_repr`` / ``asdict``).
+    fully_covered: set[str] = field(default_factory=set)
+    #: Functions walked while extracting coverage (the canonical method
+    #: and the accessors it pulls in) — their own reads *are* coverage.
+    visited: set[str] = field(default_factory=set)
+
+    def covers(self, class_qualname: str, attr: str) -> bool:
+        if class_qualname in self.fully_covered:
+            return True
+        return attr in self.covered.get(class_qualname, set())
+
+
+def compute_spec_coverage(
+    program: Program, config: FlowConfig
+) -> SpecCoverage:
+    """Walk ``canonical()`` (and the accessors it reads) for coverage.
+
+    ``self.X`` reads mark field/property ``X`` covered on the owning
+    class; properties are followed transitively; a call listed in
+    ``config.cover_all_calls`` (``stable_config_repr`` — which iterates
+    every dataclass field dynamically — or ``asdict``) marks its
+    argument's class as fully covered.
+    """
+    coverage = SpecCoverage()
+    mod_rel, class_name, method_name = config.canonical_method
+    class_qualname = f"{config.full(mod_rel)}.{class_name}"
+    info = program.classes.get(class_qualname)
+    if info is None or method_name not in info.methods:
+        return coverage
+    queue: list[FunctionInfo] = [info.methods[method_name]]
+    cover_all = set(config.cover_all_calls)
+    while queue:
+        func = queue.pop()
+        if func.qualname in coverage.visited or func.owner is None:
+            continue
+        coverage.visited.add(func.qualname)
+        owner = func.owner
+        module = program.modules[func.module]
+        types = infer_receiver_types(program, func)
+        covered = coverage.covered.setdefault(owner, set())
+        for node in _immediate_body(func.node):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                covered.add(node.attr)
+                for ancestor in program.ancestors(owner):
+                    member = ancestor.methods.get(node.attr)
+                    if member is not None and member.is_property:
+                        queue.append(member)
+                        break
+            elif isinstance(node, ast.Call):
+                target = _dotted(node.func)
+                if target is None:
+                    continue
+                if target.split(".")[-1] in cover_all:
+                    for arg in node.args:
+                        inferred = infer_expr_class(
+                            program, module, arg, types
+                        )
+                        if inferred is not None:
+                            coverage.fully_covered.add(inferred)
+                elif target.startswith("self."):
+                    for member in program.lookup_method(
+                        owner, target.split(".", 1)[1], virtual=False
+                    ):
+                        queue.append(member)
+    return coverage
+
+
+def _tracked_maps(
+    program: Program, config: FlowConfig
+) -> tuple[dict[str, str], dict[str, str]]:
+    """(tracked class qualname -> display name, alias -> qualname)."""
+    tracked: dict[str, str] = {}
+    aliases: dict[str, str] = {}
+    for tc in config.tracked_classes:
+        qualname = f"{config.full(tc.module)}.{tc.name}"
+        if qualname not in program.classes:
+            continue
+        tracked[qualname] = tc.name
+        for alias in tc.aliases:
+            aliases[alias] = qualname
+    return tracked, aliases
+
+
+def _class_member_kind(
+    program: Program, class_qualname: str, attr: str
+) -> Optional[str]:
+    """'field', 'property', 'method', or ``None`` (unknown attribute)."""
+    for info in program.ancestors(class_qualname):
+        if attr in info.field_types:
+            return "field"
+        if attr in info.methods:
+            return (
+                "property" if info.methods[attr].is_property else "method"
+            )
+    return None
+
+
+def spec_coverage_findings(
+    program: Program,
+    config: FlowConfig,
+    closure: Iterable[str],
+    coverage: Optional[SpecCoverage] = None,
+    collector: Optional[_Findings] = None,
+) -> list[LintFinding]:
+    """REP010 over every closure function."""
+    if coverage is None:
+        coverage = compute_spec_coverage(program, config)
+    tracked, aliases = _tracked_maps(program, config)
+    canonical_name = ".".join(config.canonical_method[1:])
+    out = collector if collector is not None else _Findings()
+    for qualname in sorted(set(closure)):
+        if qualname in coverage.visited:
+            continue
+        func = program.functions[qualname]
+        module = program.modules[func.module]
+        types = infer_receiver_types(program, func)
+        seen_sites: set[tuple[int, int]] = set()
+        for node in _immediate_body(func.node):
+            if not (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+            ):
+                continue
+            receiver = _dotted(node.value)
+            if receiver is None:
+                continue
+            cls = _receiver_class(program, types, receiver)
+            if cls is None and isinstance(node.value, ast.Name):
+                cls = aliases.get(receiver)
+            if cls is None or cls not in tracked:
+                continue
+            kind = _class_member_kind(program, cls, node.attr)
+            if kind not in ("field", "property"):
+                continue  # methods are checked through their own bodies
+            if coverage.covers(cls, node.attr):
+                continue
+            site = (node.lineno, node.col_offset)
+            if site in seen_sites:
+                continue
+            seen_sites.add(site)
+            out.report(
+                module, node, "REP010",
+                f"{tracked[cls]}.{node.attr} is read on the fault path "
+                f"but never enters {canonical_name}() — two runs "
+                "differing only in this field share one cache entry; "
+                "add it to the canonical string (and bump "
+                "CACHE_SCHEMA_VERSION) or move the read off the fault "
+                "path",
+            )
+    return out.items
+
+
+# -- REP011: worker-global mutation ----------------------------------------
+
+
+def worker_safety_findings(
+    program: Program,
+    config: FlowConfig,
+    collector: Optional[_Findings] = None,
+) -> list[LintFinding]:
+    """REP011: module-global rebinds reachable from worker entries."""
+    out = collector if collector is not None else _Findings()
+    entries = [
+        config.full(rel)
+        for rel in config.worker_entries
+        if config.full(rel) in program.functions
+    ]
+    if not entries:
+        return out.items
+    graph = build_callgraph(program)
+    closure = {
+        qualname
+        for qualname in graph.closure(entries)
+        if qualname in program.functions
+    }
+    for qualname in sorted(closure):
+        func = program.functions[qualname]
+        module = program.modules[func.module]
+        declared: set[str] = set()
+        for node in _immediate_body(func.node):
+            if isinstance(node, ast.Global):
+                declared.update(node.names)
+        if not declared:
+            continue
+        for node in _immediate_body(func.node):
+            targets: list[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name) and target.id in declared:
+                    out.report(
+                        module, node, "REP011",
+                        f"{func.name}() rebinds module global "
+                        f"`{target.id}` and is reachable from a "
+                        "supervised-worker entry point — the rebind "
+                        "never propagates across the process boundary "
+                        "and fork-inherited state leaks in; pass state "
+                        "explicitly or justify a worker-local memo "
+                        "with a noqa",
+                    )
+    return out.items
+
+
+# -- REP012: determinism hazards -------------------------------------------
+
+
+def _is_unordered_iterable(expr: ast.expr) -> bool:
+    if isinstance(expr, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in {"set", "frozenset"}
+    )
+
+
+def determinism_findings(
+    program: Program,
+    closure: Iterable[str],
+    collector: Optional[_Findings] = None,
+) -> list[LintFinding]:
+    """REP012 over every closure function."""
+    out = collector if collector is not None else _Findings()
+    for qualname in sorted(set(closure)):
+        func = program.functions[qualname]
+        module = program.modules[func.module]
+        for node in _immediate_body(func.node):
+            if isinstance(node, ast.Call):
+                target = _dotted(node.func)
+                if target is None:
+                    continue
+                if target in _TIME_CALLS:
+                    out.report(
+                        module, node, "REP012",
+                        f"wall-clock read {target}() inside the "
+                        "fault-path closure — cached results must be a "
+                        "pure function of the spec; keep timing out of "
+                        "key metrics or justify with a noqa",
+                    )
+                elif target == "os.getenv":
+                    out.report(
+                        module, node, "REP012",
+                        "os.getenv() inside the fault-path closure — "
+                        "environment state is not part of the spec "
+                        "hash, so it must not steer cached behaviour",
+                    )
+                elif target.startswith(("np.random.", "numpy.random.")):
+                    member = target.rsplit(".", 1)[-1]
+                    if member not in _SEEDED_NP_MEMBERS:
+                        out.report(
+                            module, node, "REP012",
+                            f"{target}() uses numpy's module-level "
+                            "global RNG — construct a seeded "
+                            "np.random.default_rng(seed) instead",
+                        )
+            elif (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.ctx, ast.Load)
+                and _dotted(node) == "os.environ"
+            ):
+                out.report(
+                    module, node, "REP012",
+                    "os.environ read inside the fault-path closure — "
+                    "environment state is not part of the spec hash, "
+                    "so it must not steer cached behaviour",
+                )
+            elif isinstance(node, ast.For) and _is_unordered_iterable(
+                node.iter
+            ):
+                out.report(
+                    module, node, "REP012",
+                    "iteration over an unordered set on the fault path "
+                    "— wrap in sorted(...) or justify with a noqa when "
+                    "element order provably cannot reach the results",
+                )
+            elif isinstance(
+                node, ast.comprehension
+            ) and _is_unordered_iterable(node.iter):
+                out.report(
+                    module, node.iter, "REP012",
+                    "comprehension over an unordered set on the fault "
+                    "path — wrap in sorted(...) or justify with a noqa "
+                    "when element order provably cannot reach the "
+                    "results",
+                )
+    return out.items

@@ -34,7 +34,24 @@ REP008   No hand-rolled canonical identity strings: a ``"|".join``
          :mod:`repro.scenarios.spec` re-creates the three-hash drift
          bug that module exists to end — derive the hash from
          ``ScenarioSpec.canonical()`` / ``MatrixSpec.canonical()``.
+REP009   Fault-path closure fingerprints (``hpe-repro flow
+         staleness``): see :mod:`repro.check.flow.fingerprint`.
+REP010   Spec-coverage taint — config/spec fields read on the fault
+         path must enter ``ScenarioSpec.canonical()``: see
+         :mod:`repro.check.flow.rules`.
+REP011   No module-global rebinds reachable from supervised-worker
+         entry points: see :mod:`repro.check.flow.rules`.
+REP012   No wall-clock / ``os.environ`` / module-level-RNG /
+         unordered-set-iteration hazards on the fault path: see
+         :mod:`repro.check.flow.rules`.
+REP013   No stale suppressions: a ``# noqa`` / ``# noqa: REPxxx``
+         comment that suppresses nothing must be removed — dead
+         suppressions hide the next real finding on that line.
 ======== ==============================================================
+
+REP010–REP012 are whole-program rules computed by the flow analyzer
+(:mod:`repro.check.flow`) and folded into :func:`run_lint` whenever the
+linted files include the installed package.
 
 Suppression: append ``# noqa`` or ``# noqa: REP00x`` to the flagged
 line.  The pass is pure :mod:`ast` — nothing is imported or executed, so
@@ -45,9 +62,11 @@ from __future__ import annotations
 
 import ast
 import hashlib
+import io
 import re
 import sys
-from dataclasses import dataclass
+import tokenize
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Optional, Sequence
 
@@ -95,6 +114,17 @@ _CACHED_DATACLASSES = {
 }
 
 _NOQA_RE = re.compile(r"#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I)
+
+#: A *directive* is a comment that starts with the noqa marker (the
+#: suppression check above searches anywhere; the staleness audit must
+#: not fire on prose that merely mentions "# noqa").
+_NOQA_DIRECTIVE_RE = re.compile(
+    r"^#\s*noqa(?::\s*(?P<codes>[A-Z0-9, ]+))?", re.I
+)
+
+#: Codes this pass owns; foreign codes (flake8's BLE001, F401, ...)
+#: belong to other tools and are never audited for staleness.
+_REP_CODE_RE = re.compile(r"^REP\d{3}$")
 
 #: Rules not enforced in test files: tests assert exact float values on
 #: deterministic outputs on purpose, construct observations whose
@@ -205,6 +235,9 @@ class _FileLinter(ast.NodeVisitor):
         self.lines = source.splitlines()
         self.tree = tree
         self.findings: list[LintFinding] = []
+        #: Findings silenced by a noqa — kept so the staleness audit
+        #: and ``--statistics`` know what each suppression actually did.
+        self.suppressed: list[LintFinding] = []
         self._parents: dict[ast.AST, ast.AST] = {}
         for parent in ast.walk(tree):
             for child in ast.iter_child_nodes(parent):
@@ -225,17 +258,17 @@ class _FileLinter(ast.NodeVisitor):
 
     def _report(self, node: ast.AST, code: str, message: str) -> None:
         line = getattr(node, "lineno", 1)
-        if self._suppressed(line, code):
-            return
-        self.findings.append(
-            LintFinding(
-                code=code,
-                path=self.path,
-                line=line,
-                col=getattr(node, "col_offset", 0) + 1,
-                message=message,
-            )
+        finding = LintFinding(
+            code=code,
+            path=self.path,
+            line=line,
+            col=getattr(node, "col_offset", 0) + 1,
+            message=message,
         )
+        if self._suppressed(line, code):
+            self.suppressed.append(finding)
+        else:
+            self.findings.append(finding)
 
     # -- REP001: seeded randomness only ----------------------------------
 
@@ -427,13 +460,81 @@ class _FileLinter(ast.NodeVisitor):
         self.generic_visit(node)
 
 
-def lint_source(path: str, source: str) -> list[LintFinding]:
-    """Run the per-file rules (REP001–REP005, REP007, REP008) over
-    one file's source text."""
+@dataclass(frozen=True)
+class NoqaDirective:
+    """One ``# noqa`` comment: where it is and what it claims to silence."""
+
+    path: str
+    line: int
+    col: int
+    #: Upper-cased codes after the colon; ``None`` for a bare ``# noqa``.
+    codes: Optional[frozenset[str]]
+
+    def auditable(self) -> bool:
+        """Is this pass entitled to judge the directive's staleness?
+
+        Bare directives and all-REP directives are ours; anything
+        carrying a foreign code (flake8 etc.) is another tool's
+        business.
+        """
+        if self.codes is None:
+            return True
+        return all(_REP_CODE_RE.match(code) for code in self.codes)
+
+
+def scan_noqa_directives(path: str, source: str) -> list[NoqaDirective]:
+    """Every comment *starting* with the noqa marker, via tokenize.
+
+    Tokenizing (rather than regexing lines) keeps string literals and
+    docstrings that merely mention ``# noqa`` out of the audit.
+    """
+    out: list[NoqaDirective] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA_DIRECTIVE_RE.match(tok.string)
+            if match is None:
+                continue
+            codes_text = match.group("codes")
+            codes = (
+                frozenset(
+                    c.strip().upper()
+                    for c in codes_text.split(",")
+                    if c.strip()
+                )
+                if codes_text is not None
+                else None
+            )
+            out.append(
+                NoqaDirective(
+                    path=path,
+                    line=tok.start[0],
+                    col=tok.start[1] + 1,
+                    codes=codes,
+                )
+            )
+    except tokenize.TokenizeError:
+        pass  # REP000 already covers files that do not parse
+    return out
+
+
+@dataclass
+class FileLintReport:
+    """Per-file rule results plus the inputs the noqa audit needs."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    suppressed: list[LintFinding] = field(default_factory=list)
+    directives: list[NoqaDirective] = field(default_factory=list)
+
+
+def lint_source_report(path: str, source: str) -> FileLintReport:
+    """Per-file rules (REP001–REP005, REP007, REP008) over one file."""
     try:
         tree = ast.parse(source, filename=path)
     except SyntaxError as exc:
-        return [
+        return FileLintReport(findings=[
             LintFinding(
                 code="REP000",
                 path=path,
@@ -441,13 +542,24 @@ def lint_source(path: str, source: str) -> list[LintFinding]:
                 col=(exc.offset or 0) + 1,
                 message=f"syntax error: {exc.msg}",
             )
-        ]
+        ])
     linter = _FileLinter(path, source, tree)
     linter.visit(tree)
+    findings, suppressed = linter.findings, linter.suppressed
     if _is_test_file(path):
-        return [f for f in linter.findings
-                if f.code not in _RELAXED_IN_TESTS]
-    return linter.findings
+        findings = [f for f in findings if f.code not in _RELAXED_IN_TESTS]
+        suppressed = [f for f in suppressed
+                      if f.code not in _RELAXED_IN_TESTS]
+    return FileLintReport(
+        findings=findings,
+        suppressed=suppressed,
+        directives=scan_noqa_directives(path, source),
+    )
+
+
+def lint_source(path: str, source: str) -> list[LintFinding]:
+    """Run the per-file rules over one file's source text."""
+    return lint_source_report(path, source).findings
 
 
 def lint_file(path: Path) -> list[LintFinding]:
@@ -456,11 +568,18 @@ def lint_file(path: Path) -> list[LintFinding]:
 
 
 def iter_python_files(paths: Iterable[Path]) -> list[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of ``.py`` files.
+
+    Directories named ``fixtures`` are skipped: they hold deliberately
+    rule-violating corpora for the lint tests, not shipped code.
+    """
     out: set[Path] = set()
     for path in paths:
         if path.is_dir():
-            out.update(path.rglob("*.py"))
+            out.update(
+                f for f in path.rglob("*.py")
+                if "fixtures" not in f.relative_to(path).parts
+            )
         elif path.suffix == ".py":
             out.add(path)
     return sorted(out)
@@ -568,24 +687,140 @@ def default_package_root() -> Path:
     return Path(__file__).resolve().parents[1]
 
 
+@dataclass
+class LintReport:
+    """Everything one lint run learned, beyond the findings list."""
+
+    findings: list[LintFinding] = field(default_factory=list)
+    suppressed: list[LintFinding] = field(default_factory=list)
+    directives: list[NoqaDirective] = field(default_factory=list)
+
+    def statistics(self) -> dict[str, tuple[int, int]]:
+        """code -> (active findings, suppressed findings), sorted."""
+        codes = sorted(
+            {f.code for f in self.findings}
+            | {f.code for f in self.suppressed}
+        )
+        return {
+            code: (
+                sum(1 for f in self.findings if f.code == code),
+                sum(1 for f in self.suppressed if f.code == code),
+            )
+            for code in codes
+        }
+
+    def render_statistics(self) -> list[str]:
+        """``--statistics`` table lines."""
+        stats = self.statistics()
+        out = [f"{'rule':8s} {'findings':>8s} {'suppressed':>10s}"]
+        for code, (active, silenced) in stats.items():
+            out.append(f"{code:8s} {active:8d} {silenced:10d}")
+        out.append(
+            f"{len(self.findings)} finding(s), "
+            f"{len(self.suppressed)} suppression(s), "
+            f"{len(self.directives)} noqa directive(s)"
+        )
+        return out
+
+
+def _stale_noqa_findings(
+    directives: Iterable[NoqaDirective],
+    suppressed: Iterable[LintFinding],
+) -> list[LintFinding]:
+    """REP013: directives whose line silences no finding of this pass."""
+    silenced_at: dict[tuple[Path, int], set[str]] = {}
+    for finding in suppressed:
+        key = (Path(finding.path).resolve(), finding.line)
+        silenced_at.setdefault(key, set()).add(finding.code)
+    out: list[LintFinding] = []
+    for directive in directives:
+        if not directive.auditable():
+            continue
+        codes_here = silenced_at.get(
+            (Path(directive.path).resolve(), directive.line), set()
+        )
+        if directive.codes is None:
+            if codes_here:
+                continue
+            detail = "bare `# noqa`"
+        else:
+            if directive.codes & codes_here:
+                continue
+            detail = f"`# noqa: {', '.join(sorted(directive.codes))}`"
+        out.append(
+            LintFinding(
+                code="REP013",
+                path=directive.path,
+                line=directive.line,
+                col=directive.col,
+                message=f"stale {detail} — it suppresses nothing on "
+                        "this line; remove it so it cannot mask the "
+                        "next real finding",
+            )
+        )
+    return out
+
+
+def run_lint_report(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    include_schema_check: bool = True,
+    include_flow: bool = True,
+) -> LintReport:
+    """Lint ``paths`` (default: the whole ``repro`` package).
+
+    Adds REP006 (cache schema), the whole-program flow rules
+    REP010–REP012 when the linted files include the installed package,
+    and the REP013 stale-noqa audit over every linted file.
+    """
+    root = default_package_root()
+    targets = [Path(p) for p in paths] if paths else [root]
+    report = LintReport()
+    files = iter_python_files(targets)
+    for file in files:
+        file_report = lint_source_report(
+            str(file), file.read_text(encoding="utf-8")
+        )
+        report.findings.extend(file_report.findings)
+        report.suppressed.extend(file_report.suppressed)
+        report.directives.extend(file_report.directives)
+    if include_schema_check:
+        report.findings.extend(check_cache_schema(root))
+    resolved_root = root.resolve()
+    if include_flow and any(
+        file.resolve().is_relative_to(resolved_root) for file in files
+    ):
+        # Imported lazily: repro.check.flow imports this module.
+        from repro.check import flow
+
+        analysis = flow.analyze(package_root=root)
+        active, silenced = flow.run_flow_rules_report(analysis)
+        report.findings.extend(active)
+        report.suppressed.extend(silenced)
+    report.findings.extend(
+        _stale_noqa_findings(report.directives, report.suppressed)
+    )
+    report.findings.sort(key=lambda f: (f.path, f.line, f.col, f.code))
+    return report
+
+
 def run_lint(
     paths: Optional[Sequence[Path]] = None,
     *,
     include_schema_check: bool = True,
+    include_flow: bool = True,
 ) -> list[LintFinding]:
-    """Lint ``paths`` (default: the whole ``repro`` package) and REP006."""
-    root = default_package_root()
-    targets = [Path(p) for p in paths] if paths else [root]
-    findings: list[LintFinding] = []
-    for file in iter_python_files(targets):
-        findings.extend(lint_file(file))
-    if include_schema_check:
-        findings.extend(check_cache_schema(root))
-    return sorted(findings, key=lambda f: (f.path, f.line, f.col, f.code))
+    """Lint ``paths`` (default: the whole ``repro`` package)."""
+    return run_lint_report(
+        paths,
+        include_schema_check=include_schema_check,
+        include_flow=include_flow,
+    ).findings
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro.check.lint [--fingerprints] [paths...]``."""
+    """``python -m repro.check.lint [--fingerprints] [--statistics]
+    [paths...]``."""
     args = list(sys.argv[1:] if argv is None else argv)
     if "--fingerprints" in args:
         for name, fingerprint in current_fingerprints(
@@ -593,13 +828,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         ).items():
             print(f"{name}: {fingerprint}")
         return 0
-    findings = run_lint([Path(a) for a in args] or None)
-    for finding in findings:
+    statistics = "--statistics" in args
+    args = [a for a in args if a != "--statistics"]
+    report = run_lint_report([Path(a) for a in args] or None)
+    for finding in report.findings:
         print(finding.render())
-    if findings:
-        print(f"{len(findings)} problem(s) found")
+    if statistics:
+        for line in report.render_statistics():
+            print(line)
+    if report.findings:
+        print(f"{len(report.findings)} problem(s) found")
         return 1
-    print("repro lint: clean")
+    if not statistics:
+        print("repro lint: clean")
     return 0
 
 

@@ -35,6 +35,7 @@ STRICT_PACKAGES: tuple[str, ...] = (
     "check",
     "resil",
     "scenarios",
+    "obs",
 )
 
 #: Decorators whose functions are exempt (their signatures are fixed by

@@ -41,7 +41,14 @@ Subcommands
     Resume an interrupted matrix run from its journal (or list the
     runs on disk when no id is given).
 ``lint``
-    Run the repo-specific AST lint pass (REP001–REP008).
+    Run the repo-specific AST lint pass (REP001–REP013, including the
+    whole-program flow rules and the stale-noqa audit;
+    ``--statistics`` prints per-rule counts).
+``flow``
+    The whole-program flow analyzer: ``flow graph`` prints the
+    fault-path closure, ``flow staleness`` fails when the closure
+    changed without a re-pin (REP009), ``flow pin`` rewrites the
+    checked-in manifest after a reviewed change.
 ``typecheck``
     Run the strict typing gate (mypy when installed, plus the AST
     annotation-completeness check).
@@ -277,11 +284,27 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common(scen_p)
 
     lint_p = sub.add_parser(
-        "lint", help="run the repo-specific AST lint pass (REP001-REP008)"
+        "lint", help="run the repo-specific AST lint pass (REP001-REP013)"
     )
     lint_p.add_argument("paths", nargs="*",
                         help="files/directories (default: the installed "
                              "repro package)")
+    lint_p.add_argument("--statistics", action="store_true",
+                        help="print per-rule finding and suppression "
+                             "counts after the findings")
+
+    flow_p = sub.add_parser(
+        "flow",
+        help="whole-program flow analyzer: fault-path closure "
+             "fingerprints (REP009) and the pinned manifest",
+    )
+    flow_p.add_argument(
+        "action", choices=["graph", "staleness", "pin"],
+        help="graph: print the fault-path closure and call-graph "
+             "stats; staleness: fail if the closure changed since the "
+             "pinned manifest; pin: rewrite the manifest from the "
+             "current tree",
+    )
 
     sub.add_parser(
         "typecheck",
@@ -671,6 +694,39 @@ def _run_golden(args: argparse.Namespace) -> int:
     return 0
 
 
+def _run_flow(args: argparse.Namespace) -> int:
+    """``flow {graph,staleness,pin}``: the REP009 closure gate."""
+    from repro.check import flow
+
+    analysis = flow.analyze()
+    if args.action == "graph":
+        by_module: dict[str, int] = {}
+        for qualname in analysis.closure:
+            module = analysis.program.functions[qualname].module
+            by_module[module] = by_module.get(module, 0) + 1
+        print(f"fault-path closure: {len(analysis.closure)} functions "
+              f"in {len(by_module)} modules")
+        for module in sorted(by_module):
+            print(f"  {by_module[module]:4d}  {module}")
+        unresolved = analysis.graph.unresolved.most_common(10)
+        if unresolved:
+            print("unresolved attribute calls (top 10):")
+            for name, count in unresolved:
+                print(f"  {count:4d}  .{name}()")
+        return 0
+    if args.action == "pin":
+        manifest = flow.pin_manifest(analysis)
+        print(f"pinned {len(manifest.functions)} fingerprints "
+              f"(schema v{manifest.cache_schema_version}, digest "
+              f"{manifest.closure_digest[:16]}…) to "
+              f"{flow.default_manifest_path()}")
+        return 0
+    report = flow.check_staleness(analysis)
+    for line in report.lines():
+        print(line)
+    return 0 if report.ok else 1
+
+
 def _run_check(args: argparse.Namespace) -> int:
     """``check {invariants,determinism,journal} APP [POLICY] [RATE]``."""
     from repro import check as check_module
@@ -782,16 +838,23 @@ def _dispatch(parser: argparse.ArgumentParser,
     if args.command == "lint":
         from pathlib import Path
 
-        from repro.check.lint import run_lint
+        from repro.check.lint import run_lint_report
 
-        findings = run_lint([Path(p) for p in args.paths] or None)
-        for finding in findings:
+        report = run_lint_report([Path(p) for p in args.paths] or None)
+        for finding in report.findings:
             print(finding.render())
-        if findings:
-            print(f"{len(findings)} problem(s) found")
+        if args.statistics:
+            for line in report.render_statistics():
+                print(line)
+        if report.findings:
+            print(f"{len(report.findings)} problem(s) found")
             return 1
-        print("repro lint: clean")
+        if not args.statistics:
+            print("repro lint: clean")
         return 0
+
+    if args.command == "flow":
+        return _run_flow(args)
 
     if args.command == "typecheck":
         from repro.check.typegate import run_typegate

@@ -418,7 +418,9 @@ def _attach_shared_traces(handle) -> None:
     store = TraceStore.attach(handle)
     if store is None:
         return
-    _ATTACHED_STORE = (handle.shm_name, store)
+    # Worker-local memo by design: each worker attaches its own view of
+    # the shared-memory store; nothing must propagate back to the parent.
+    _ATTACHED_STORE = (handle.shm_name, store)  # noqa: REP011
     _TRACES.attach_store(store)
 
 

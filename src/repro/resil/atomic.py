@@ -100,7 +100,7 @@ def atomic_write_bytes(
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    fd, tmp_name = tempfile.mkstemp(  # noqa: REP007 — the blessed site
+    fd, tmp_name = tempfile.mkstemp(
         dir=path.parent, prefix=path.name, suffix=".tmp"
     )
     try:
@@ -109,7 +109,7 @@ def atomic_write_bytes(
             if fsync:
                 stream.flush()
                 os.fsync(stream.fileno())
-        os.replace(tmp_name, path)  # noqa: REP007 — the blessed site
+        os.replace(tmp_name, path)
     except BaseException:
         try:
             os.unlink(tmp_name)
@@ -144,5 +144,5 @@ def replace_into(tmp: Union[str, Path], path: Union[str, Path]) -> None:
     gzip trace written by ``save_trace``); the temp file must live on
     the same filesystem as ``path``.
     """
-    os.replace(tmp, path)  # noqa: REP007 — the blessed site
+    os.replace(tmp, path)
     _fsync_directory(Path(path).parent)

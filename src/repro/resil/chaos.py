@@ -177,7 +177,9 @@ _TORN_DIGESTS: set[str] = set()
 def activate(spec: Optional[ChaosSpec]) -> None:
     """Install ``spec`` as this process's active chaos configuration."""
     global _ACTIVE
-    _ACTIVE = spec
+    # Per-process by design: every worker installs its own chaos spec
+    # from the job payload; the parent's value is never read back.
+    _ACTIVE = spec  # noqa: REP011
     _TORN_DIGESTS.clear()
 
 

@@ -291,7 +291,10 @@ def result_cache() -> ResultCache:
     """The process-wide result cache against the current settings."""
     global _RESULTS
     if _RESULTS is None:
-        _RESULTS = ResultCache()
+        # Worker-local memo by design: each process opens its own handle
+        # onto the on-disk cache; entries round-trip through the disk,
+        # never through this pointer.
+        _RESULTS = ResultCache()  # noqa: REP011
     return _RESULTS
 
 

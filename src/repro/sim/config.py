@@ -41,7 +41,9 @@ def resolve_fastpath_level(fast: Optional[Union[bool, int]] = None) -> int:
     explicit level.  Out-of-range values clamp into ``[0, 2]``.
     """
     if fast is None:
-        raw = os.environ.get(FASTPATH_ENV, "")
+        # Tier selection only: every tier is bit-identical (diff-gated),
+        # so the env read steers speed, never cached results.
+        raw = os.environ.get(FASTPATH_ENV, "")  # noqa: REP012
         if not raw.strip():
             return DEFAULT_FASTPATH_LEVEL
         try:

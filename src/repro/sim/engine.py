@@ -154,7 +154,7 @@ class UVMSimulator:
                 capacity_pages=self.capacity_pages,
                 trace_length=len(trace),
             )
-        started = time.monotonic()
+        started = time.monotonic()  # noqa: REP012 — extras-only timing
         if level >= 2:
             from repro.sim import fastpath2
 
@@ -170,7 +170,7 @@ class UVMSimulator:
         # Wall-clock spent replaying, for supervisor/journal accounting.
         # Lives in ``extras`` — key_metrics() stays wall-clock-free so
         # determinism digests are unaffected.
-        result.extras["elapsed_s"] = time.monotonic() - started
+        result.extras["elapsed_s"] = time.monotonic() - started  # noqa: REP012
         return result
 
     def _replay_reference(self, trace: Sequence[int]) -> int:

@@ -945,7 +945,9 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 else:
                     key1 = sm_idx * l1_nsets + (seg & l1_mask)
                 press1 = np.zeros(seg_len, dtype=bool)
-                for k in set(key1[cand_np].tolist()):
+                # Order-free: each key selects a disjoint mask and the
+                # per-key writes never overlap.
+                for k in set(key1[cand_np].tolist()):  # noqa: REP012
                     mk = key1 == k
                     counts = np.cumsum(noncand & mk)
                     press1[mk] = counts[mk] >= l1_assoc
@@ -953,7 +955,8 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             if l2_nsets <= MAX_REFINE_KEYS:
                 key2 = seg & l2_mask
                 press2 = np.zeros(seg_len, dtype=bool)
-                for k in set(key2[cand_np].tolist()):
+                # Order-free: disjoint masks, as above.
+                for k in set(key2[cand_np].tolist()):  # noqa: REP012
                     mk = key2 == k
                     counts = np.cumsum(noncand & mk)
                     press2[mk] = counts[mk] >= l2_assoc

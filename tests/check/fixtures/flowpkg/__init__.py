@@ -1,0 +1,8 @@
+"""Fixture package for the flow analyzer (REP009–REP012).
+
+A miniature of the real layout: ``engine`` is the fault-path entry
+module, ``util`` is pulled into the closure transitively, ``spec``
+holds the canonical identity, and ``work`` hosts a supervised-worker
+entry point.  The expected findings live in
+``tests/check/fixtures/expected_findings.txt``.
+"""

@@ -1,0 +1,11 @@
+"""Machine config for the flow fixture package."""
+
+from dataclasses import dataclass
+
+TUNING_CONSTANT = 7
+
+
+@dataclass(frozen=True)
+class Config:
+    capacity: int = 64
+    latency: int = 600

@@ -1,0 +1,18 @@
+"""Fault-path entry module of the flow fixture package."""
+
+import os
+
+from flowpkg.config import Config
+from flowpkg.spec import Spec
+from flowpkg.util import tick
+
+
+def run(spec: Spec, config: Config, pages: list) -> int:
+    cycles = config.latency
+    cycles += spec.extra
+    if os.environ.get("FLOWPKG_DEBUG"):
+        cycles += 1
+    for page in set(pages):
+        cycles += page
+    cycles += int(tick())
+    return cycles

@@ -1,0 +1,31 @@
+"""Scenario identity for the flow fixture package."""
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from flowpkg.config import Config
+
+
+def stable_repr(config: object) -> str:
+    return ",".join(
+        f"{f.name}={getattr(config, f.name)!r}" for f in fields(config)
+    )
+
+
+@dataclass(frozen=True)
+class Spec:
+    workload: str
+    seed: int = 0
+    config: Optional[Config] = None
+    #: Read on the fault path but missing from canonical() on purpose.
+    extra: int = 0
+
+    @property
+    def effective_config(self) -> Config:
+        return self.config or Config()
+
+    def canonical(self) -> str:
+        return (
+            f"w={self.workload}|s={self.seed}"
+            f"|c={stable_repr(self.effective_config)}"
+        )

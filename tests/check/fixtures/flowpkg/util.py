@@ -1,0 +1,7 @@
+"""Helpers pulled into the fixture fault-path closure transitively."""
+
+import time
+
+
+def tick() -> float:
+    return time.monotonic()

@@ -1,0 +1,15 @@
+"""Supervised-worker entry point of the flow fixture package."""
+
+from typing import Optional
+
+_HANDLE: Optional[object] = None
+
+
+def _setup(handle: object) -> None:
+    global _HANDLE
+    _HANDLE = handle
+
+
+def _worker_main(job: tuple) -> int:
+    _setup(job)
+    return len(job)

@@ -1,0 +1,3 @@
+# Fixture: REP000 — a file that does not parse.
+def broken(:
+    pass

@@ -1,0 +1,6 @@
+"""Fixture: REP001 — unseeded / module-level randomness."""
+
+import random
+
+rng = random.Random()
+pick = random.choice([1, 2, 3])

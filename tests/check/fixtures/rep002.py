@@ -1,0 +1,6 @@
+"""Fixture: REP002 — mutable default argument."""
+
+
+def accumulate(value: int, into: list = []) -> list:
+    into.append(value)
+    return into

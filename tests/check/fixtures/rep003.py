@@ -1,0 +1,12 @@
+"""Fixture: REP003 — incomplete eviction-policy interface."""
+
+
+class EvictionPolicy:
+    pass
+
+
+class HalfPolicy(EvictionPolicy):
+    def on_page_in(self, page: int) -> None:
+        pass
+
+    # select_victim is missing on purpose.

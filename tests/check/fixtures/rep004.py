@@ -1,0 +1,9 @@
+"""Fixture: REP004 — obs.emit outside the is-not-None guard."""
+
+
+class Driver:
+    def __init__(self) -> None:
+        self.obs = None
+
+    def fault(self, page: int) -> None:
+        self.obs.emit("fault", page=page)

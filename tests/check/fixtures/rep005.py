@@ -1,0 +1,5 @@
+"""Fixture: REP005 — float equality comparison."""
+
+
+def is_full(rate: float) -> bool:
+    return rate == 1.0

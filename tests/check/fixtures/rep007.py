@@ -1,0 +1,7 @@
+"""Fixture: REP007 — raw atomic-rename plumbing outside resil.atomic."""
+
+import os
+
+
+def publish(tmp: str, path: str) -> None:
+    os.replace(tmp, path)

@@ -1,0 +1,5 @@
+"""Fixture: REP008 — hand-rolled canonical identity string."""
+
+
+def identity(workload: str, policy: str) -> str:
+    return "|".join(["schema=1", f"workload={workload}", f"policy={policy}"])

@@ -1,0 +1,8 @@
+"""Fixture: REP013 — noqa directives that suppress nothing."""
+
+import random
+
+count = 1  # noqa
+total = count + 1  # noqa: REP001
+fresh = random.choice([1])  # noqa: REP001 — actually suppresses a finding
+foreign = object()  # noqa: BLE001 (another tool's code: never audited)

@@ -1,0 +1,3 @@
+"""Fixture: REP006 — a schema version with no fingerprint row."""
+
+CACHE_SCHEMA_VERSION = 999

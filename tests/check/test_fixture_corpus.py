@@ -1,0 +1,110 @@
+"""Lint-rule coverage via the on-disk fixture corpus.
+
+Every rule REP000–REP013 is exercised by a real file (or mini-package)
+under ``tests/check/fixtures/`` and compared against the checked-in
+expected-findings golden — so a rule regression shows up as a corpus
+diff, not as a silently weaker gate.  Regenerate after an intentional
+rule change with::
+
+    REPRO_UPDATE_FIXTURES=1 python -m pytest tests/check/test_fixture_corpus.py
+
+The fixtures directory is excluded from ``repro lint`` target expansion
+(:func:`repro.check.lint.iter_python_files`), so the deliberately
+rule-violating corpus never trips the repo-is-clean gate.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+from repro.check import flow
+from repro.check.lint import (
+    LintFinding,
+    _stale_noqa_findings,
+    check_cache_schema,
+    iter_python_files,
+    lint_source_report,
+)
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures"
+GOLDEN = FIXTURES / "expected_findings.txt"
+
+#: The fixture package's analyzer boundary — a miniature of
+#: ``DEFAULT_FLOW_CONFIG`` (see fixtures/flowpkg/__init__.py).
+FLOWPKG_CONFIG = flow.FlowConfig(
+    package="flowpkg",
+    entry_modules=("engine",),
+    closure_exclude=(),
+    worker_entries=("work._worker_main",),
+    tracked_classes=(
+        flow.TrackedClass("Config", "config", aliases=("config",)),
+        flow.TrackedClass("Spec", "spec", aliases=("spec",)),
+    ),
+    canonical_method=("spec", "Spec", "canonical"),
+    cover_all_calls=("stable_repr",),
+    schema_file="cache.py",
+)
+
+
+def _line(finding: LintFinding) -> str:
+    rel = Path(finding.path)
+    if rel.is_absolute() or "fixtures" in rel.parts:
+        rel = Path(finding.path).resolve().relative_to(FIXTURES)
+    return f"{rel.as_posix()}:{finding.line}:{finding.col}: {finding.code}"
+
+
+def collect_corpus_findings() -> list[str]:
+    """Every finding the corpus is expected to produce, rendered."""
+    out: list[str] = []
+    for path in sorted(FIXTURES.glob("rep*.py")):
+        # Lint under a non-test path: the corpus exercises the rules
+        # exactly as shipped code would see them, without the
+        # tests-are-relaxed carve-outs.
+        report = lint_source_report(
+            f"fixtures/{path.name}", path.read_text(encoding="utf-8")
+        )
+        findings = report.findings + _stale_noqa_findings(
+            report.directives, report.suppressed
+        )
+        out.extend(f"{path.name}:{f.line}:{f.col}: {f.code}"
+                   for f in findings)
+    analysis = flow.analyze(
+        package_root=FIXTURES / "flowpkg", config=FLOWPKG_CONFIG
+    )
+    active, suppressed = flow.run_flow_rules_report(analysis)
+    assert not suppressed, "no noqa expected inside flowpkg"
+    out.extend(_line(f) for f in active)
+    out.extend(_line(f) for f in check_cache_schema(FIXTURES / "schemapkg"))
+    return sorted(out)
+
+
+def test_fixture_corpus_matches_golden() -> None:
+    got = collect_corpus_findings()
+    if os.environ.get("REPRO_UPDATE_FIXTURES"):
+        GOLDEN.write_text("\n".join(got) + "\n", encoding="utf-8")
+    want = [
+        line
+        for line in GOLDEN.read_text(encoding="utf-8").splitlines()
+        if line and not line.startswith("#")
+    ]
+    assert got == want, (
+        "fixture corpus drifted from expected_findings.txt — if the "
+        "rule change is intentional, regenerate with "
+        "REPRO_UPDATE_FIXTURES=1"
+    )
+
+
+def test_every_rule_is_exercised() -> None:
+    """The corpus must keep covering the whole REP rule table."""
+    codes = {line.rsplit(" ", 1)[-1] for line in collect_corpus_findings()}
+    expected = {f"REP{n:03d}" for n in range(14)} - {"REP009"}
+    # REP009 is the manifest gate, proven by tests/check/test_flow.py
+    # mutation tests rather than by a static fixture.
+    assert expected <= codes, sorted(expected - codes)
+
+
+def test_fixtures_are_excluded_from_lint_targets() -> None:
+    files = iter_python_files([FIXTURES.parent])
+    assert not [f for f in files if "fixtures" in f.parts]
+    assert any(f.name == "test_fixture_corpus.py" for f in files)

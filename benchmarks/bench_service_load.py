@@ -1,0 +1,246 @@
+"""Load benchmark for the evaluation service (ISSUE 9 acceptance).
+
+Spins up the real server (asyncio HTTP transport, supervised worker
+pool, result cache) and drives it with N concurrent clients — each
+submitting a mix of distinct and deliberately duplicated specs — then
+records p50/p99 request latency, throughput, shed rate and dedupe hit
+rate into ``BENCH_service.json`` at the repository root.
+
+Two scenarios run: ``baseline`` (healthy workers) and ``chaos``
+(``--chaos``-style worker kills on the service path *plus* hostile
+clients injecting malformed and abandoned requests).  In both, the
+acceptance contract is asserted, not just measured: every request gets
+a structured response — a result, DEGRADED cells, or 4xx/5xx JSON —
+and identical concurrent submissions compute exactly once.
+
+Shrink with ``REPRO_BENCH_CLIENTS`` (default 8, the acceptance floor)
+and ``REPRO_BENCH_REQUESTS`` (requests per client, default 4).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+from repro.resil.atomic import atomic_write_json
+from repro.resil.settings import ResilSettings
+from repro.serve.bench_schema import validate_bench_service
+from repro.serve.chaos_client import ChaosClient
+from repro.serve.client import ServiceClient
+from repro.serve.http import ServerThread
+from repro.serve.service import EvaluationService
+from repro.sim import cache as sim_cache
+
+OUTPUT = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+#: The distinct request pool: small cells, two policies.
+CELLS = [
+    {"workload": app, "policy": policy, "rate": 0.5, "scale": 0.25}
+    for app in ("HOT", "STN", "BFS")
+    for policy in ("lru", "hpe")
+]
+
+
+def _clients() -> int:
+    try:
+        return max(2, int(os.environ.get("REPRO_BENCH_CLIENTS", "8")))
+    except ValueError:
+        return 8
+
+
+def _requests_per_client() -> int:
+    try:
+        return max(1, int(os.environ.get("REPRO_BENCH_REQUESTS", "4")))
+    except ValueError:
+        return 4
+
+
+def _percentile(samples: list[float], fraction: float) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    index = min(len(ordered) - 1, int(fraction * (len(ordered) - 1) + 0.5))
+    return ordered[index]
+
+
+class _ClientWorker:
+    """One concurrent client: submits, watches, and tallies."""
+
+    def __init__(self, port: int, index: int, requests: int) -> None:
+        self.client = ServiceClient("127.0.0.1", port, timeout=120.0)
+        self.index = index
+        self.requests = requests
+        self.latencies_ms: list[float] = []
+        self.statuses: dict[int, int] = {}
+        self.deduped = 0
+        self.unanswered = 0
+        self.degraded_cells = 0
+
+    def run(self) -> None:
+        for attempt in range(self.requests):
+            # Request 0 is the same cell for every client (deliberate
+            # concurrent duplicates); later requests walk the pool.
+            cell = CELLS[0] if attempt == 0 else (
+                CELLS[(self.index + attempt) % len(CELLS)]
+            )
+            start = time.perf_counter()
+            try:
+                response = self.client.submit({"cell": cell})
+            except Exception:  # noqa: BLE001 - tallied, not hidden
+                self.unanswered += 1
+                continue
+            self.statuses[response.status] = (
+                self.statuses.get(response.status, 0) + 1
+            )
+            if response.status != 202:
+                # A shed is a complete (fast) structured answer.
+                self.latencies_ms.append(
+                    (time.perf_counter() - start) * 1000.0
+                )
+                continue
+            if response.body.get("deduped"):
+                self.deduped += 1
+            final = self.client.watch(
+                response.body["job_id"], timeout=300.0, poll=0.2
+            )
+            self.latencies_ms.append((time.perf_counter() - start) * 1000.0)
+            result = final.body.get("result") or {}
+            self.degraded_cells += int(result.get("cells_degraded") or 0)
+            assert final.body.get("status") not in ("queued", "running"), (
+                "request left without a terminal answer"
+            )
+
+
+def _drive(service: EvaluationService, *, chaos_clients: bool) -> dict:
+    clients = _clients()
+    per_client = _requests_per_client()
+    with ServerThread(service) as server:
+        workers = [
+            _ClientWorker(server.port, index, per_client)
+            for index in range(clients)
+        ]
+        threads = [
+            threading.Thread(target=worker.run, name=f"bench-client-{i}")
+            for i, worker in enumerate(workers)
+        ]
+        hostile_report = None
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        if chaos_clients:
+            hostile = ChaosClient(
+                "127.0.0.1", server.port, seed=17,
+                abandon=0.3, malformed=0.3,
+            )
+            hostile_report = hostile.run({"cell": CELLS[0]}, count=10)
+        for thread in threads:
+            thread.join(timeout=600.0)
+        wall = time.perf_counter() - start
+        stats = service.stats()
+    total = sum(sum(w.statuses.values()) for w in workers)
+    shed = sum(
+        count
+        for worker in workers
+        for status, count in worker.statuses.items()
+        if status in (429, 503)
+    )
+    latencies = [ms for worker in workers for ms in worker.latencies_ms]
+    submitted = stats["counters"]["serve.submitted"]
+    deduped = stats["counters"]["serve.deduped"]
+    unanswered = sum(w.unanswered for w in workers)
+    abandoned = 0
+    if hostile_report is not None:
+        # Hostile traffic counts toward the answered/unanswered
+        # contract: only deliberately abandoned requests lack answers.
+        total += sum(hostile_report.statuses.values())
+        unanswered += hostile_report.unanswered
+        abandoned = hostile_report.abandoned
+        unanswered += abandoned
+    record = {
+        "clients": clients,
+        "requests": clients * per_client + (
+            hostile_report.sent if hostile_report is not None else 0
+        ),
+        "duplicates": sum(w.deduped for w in workers),
+        "latency_p50_ms": round(_percentile(latencies, 0.50), 2),
+        "latency_p99_ms": round(_percentile(latencies, 0.99), 2),
+        "throughput_rps": round(total / wall, 2) if wall else 0.0,
+        "shed_rate": round(shed / total, 4) if total else 0.0,
+        "dedupe_hit_rate": round(deduped / submitted, 4) if submitted else 0.0,
+        "answered": total,
+        "unanswered": unanswered,
+        "wall_s": round(wall, 3),
+        "degraded_cells": sum(w.degraded_cells for w in workers),
+        "abandoned": abandoned,
+    }
+    # The acceptance contract, asserted on every benchmark run.
+    assert record["unanswered"] <= record["abandoned"], record
+    assert record["duplicates"] >= 1, "concurrent duplicates never deduped"
+    return record
+
+
+def _merge_into_output(fragment: dict) -> None:
+    payload = {}
+    if OUTPUT.is_file():
+        try:
+            payload = json.loads(OUTPUT.read_text(encoding="ascii"))
+        except (ValueError, OSError):
+            payload = {}
+    section = payload.setdefault("service_load", {})
+    section.update(fragment)
+    problems = validate_bench_service(payload)
+    assert not problems, problems
+    atomic_write_json(OUTPUT, payload)
+
+
+def test_service_load_baseline(tmp_path):
+    previous_dir = sim_cache.cache_dir()
+    previous_enabled = sim_cache.cache_enabled()
+    sim_cache.configure(enabled=True, directory=tmp_path)
+    try:
+        service = EvaluationService(ResilSettings(
+            rate_limit=0.0, max_queue=64, max_concurrent=4,
+            request_deadline=0.0, breaker_threshold=0,
+            drain_grace=10.0, worker_timeout=300.0, retries=1,
+            backoff=0.05, serve_jobs=2,
+        ))
+        record = _drive(service, chaos_clients=False)
+        record["chaos"] = ""
+    finally:
+        sim_cache.configure(enabled=previous_enabled, directory=previous_dir)
+    assert record["degraded_cells"] == 0
+    _merge_into_output({"baseline": record})
+    print()
+    print(f"service load (baseline): {record['clients']} clients, "
+          f"p50 {record['latency_p50_ms']}ms p99 {record['latency_p99_ms']}ms, "
+          f"{record['throughput_rps']} req/s, "
+          f"dedupe {record['dedupe_hit_rate']:.0%} -> {OUTPUT.name}")
+
+
+def test_service_load_chaos(tmp_path):
+    chaos = "seed=9,crash=0.35,flaky=0.2"
+    previous_dir = sim_cache.cache_dir()
+    previous_enabled = sim_cache.cache_enabled()
+    sim_cache.configure(enabled=True, directory=tmp_path)
+    try:
+        service = EvaluationService(ResilSettings(
+            rate_limit=0.0, max_queue=64, max_concurrent=4,
+            request_deadline=0.0, breaker_threshold=0,
+            drain_grace=10.0, worker_timeout=300.0, retries=1,
+            backoff=0.05, serve_jobs=2,
+        ), chaos=chaos)
+        record = _drive(service, chaos_clients=True)
+        record["chaos"] = chaos
+    finally:
+        sim_cache.configure(enabled=previous_enabled, directory=previous_dir)
+    _merge_into_output({"chaos": record})
+    print()
+    print(f"service load (chaos): {record['clients']} clients, "
+          f"p50 {record['latency_p50_ms']}ms p99 {record['latency_p99_ms']}ms, "
+          f"{record['throughput_rps']} req/s, "
+          f"degraded cells {record['degraded_cells']}, "
+          f"unanswered {record['unanswered']} "
+          f"(abandoned {record['abandoned']}) -> {OUTPUT.name}")

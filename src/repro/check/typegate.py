@@ -36,6 +36,7 @@ STRICT_PACKAGES: tuple[str, ...] = (
     "resil",
     "scenarios",
     "obs",
+    "serve",
 )
 
 #: Decorators whose functions are exempt (their signatures are fixed by

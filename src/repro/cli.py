@@ -322,6 +322,75 @@ def build_parser() -> argparse.ArgumentParser:
                                "(e.g. run-0123abcd4567)")
     _add_common(resume_p)
 
+    serve_p = sub.add_parser(
+        "serve",
+        help="run the evaluation service: an asyncio HTTP/JSON server "
+             "with admission control, request dedupe, deadlines, and "
+             "graceful degradation",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=8135,
+                         help="bind port (default 8135; 0 = ephemeral)")
+    serve_p.add_argument("--print-config", action="store_true",
+                         help="dump every resolved REPRO_* resilience/"
+                              "serving knob with its source, then exit")
+    serve_p.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                         help="inject worker faults into every served "
+                              "evaluation (same grammar as --chaos "
+                              "elsewhere; e.g. 'seed=7,crash=0.3')")
+    serve_p.add_argument("--jobs", type=int, default=None, metavar="N",
+                         help="worker processes per evaluation (same as "
+                              "REPRO_SERVE_JOBS; clamped to >= 2)")
+    serve_p.add_argument("--rate-limit", type=float, default=None,
+                         metavar="RPS",
+                         help="admission rate in requests/second "
+                              "(same as REPRO_RATE_LIMIT; 0 disables)")
+    serve_p.add_argument("--max-queue", type=int, default=None, metavar="N",
+                         help="queued requests before 503 load shedding "
+                              "(same as REPRO_MAX_QUEUE)")
+    serve_p.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="default per-request deadline "
+                              "(same as REPRO_DEADLINE; 0 disables)")
+    serve_p.add_argument("--drain-grace", type=float, default=None,
+                         metavar="SECONDS",
+                         help="grace for in-flight requests on SIGTERM "
+                              "(same as REPRO_DRAIN_GRACE)")
+
+    submit_p = sub.add_parser(
+        "submit",
+        help="submit an evaluation to a running server "
+             "(exit 0 ok, 2 degraded result, 1 rejected/error)",
+    )
+    submit_p.add_argument("scenario", nargs="?", metavar="SCENARIO",
+                          default=None,
+                          help="named scenario (see 'scenarios list')")
+    submit_p.add_argument("--spec-json", default=None, metavar="JSON",
+                          help="inline MatrixSpec JSON instead of a name")
+    submit_p.add_argument("--host", default="127.0.0.1")
+    submit_p.add_argument("--port", type=int, default=8135)
+    submit_p.add_argument("--chaos", type=str, default=None, metavar="SPEC",
+                          help="per-request worker fault injection")
+    submit_p.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="request deadline (queue wait included)")
+    submit_p.add_argument("--no-wait", action="store_true",
+                          help="print the job id and return immediately "
+                               "instead of watching to completion")
+
+    watch_p = sub.add_parser(
+        "watch", help="watch a submitted job until it reaches a "
+                      "terminal state",
+    )
+    watch_p.add_argument("job_id", metavar="JOB_ID")
+    watch_p.add_argument("--host", default="127.0.0.1")
+    watch_p.add_argument("--port", type=int, default=8135)
+    watch_p.add_argument("--timeout", type=float, default=600.0,
+                         metavar="SECONDS",
+                         help="give up waiting after this long "
+                              "(default 600)")
+
     all_p = sub.add_parser("all", help="regenerate every table and figure")
     _add_common(all_p)
 
@@ -330,6 +399,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _apply_runtime_flags(args: argparse.Namespace) -> None:
     """Honour the global ``--jobs`` / ``--no-cache`` / ``--obs`` switches."""
+    if args.command in ("serve", "submit", "watch"):
+        # The service subcommands reuse flag names (--jobs, --chaos,
+        # --timeout) with service-local semantics; they resolve their
+        # own settings instead of mutating the process environment.
+        return
     jobs = getattr(args, "jobs", None)
     if jobs is not None:
         os.environ[ENV_JOBS] = str(jobs)
@@ -799,8 +873,137 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return EXIT_INTERRUPTED
 
 
+def _run_serve(parser: argparse.ArgumentParser,
+               args: argparse.Namespace) -> int:
+    from repro.resil import ChaosSpecError
+    from repro.resil.settings import resolve as resolve_resil_settings
+
+    settings = resolve_resil_settings(
+        serve_jobs=args.jobs,
+        rate_limit=args.rate_limit,
+        max_queue=args.max_queue,
+        request_deadline=args.deadline,
+        drain_grace=args.drain_grace,
+    )
+    if args.print_config:
+        for line in settings.lines():
+            print(line)
+        return 0
+    from repro.serve import EvaluationService, serve_forever
+
+    try:
+        service = EvaluationService(settings, chaos=args.chaos)
+    except ChaosSpecError as error:
+        parser.error(str(error))
+    return serve_forever(service, host=args.host, port=args.port)
+
+
+def _print_job_view(view: dict) -> int:
+    """Render one job snapshot; the exit code mirrors its state."""
+    status = view.get("status", "unknown")
+    print(f"job     : {view.get('job_id')}")
+    print(f"status  : {status}")
+    print(f"run id  : {view.get('run_id')}")
+    print(f"elapsed : {view.get('elapsed')}s")
+    error = view.get("error")
+    if error:
+        print(f"error   : {error.get('error')}: {error.get('message')}")
+        if error.get("resume"):
+            print(f"resume  : {error['resume']}")
+        return 1
+    result = view.get("result")
+    if result is not None:
+        print(f"cells   : {result['cells_total']} "
+              f"({result['cells_degraded']} degraded)")
+        for cell in result["cells"]:
+            label = f"{cell['app']}/{cell['policy']}@{cell['rate']}"
+            if cell["status"] == "DEGRADED":
+                failure = cell["failure"]
+                print(f"  {label:24s} DEGRADED "
+                      f"{failure['error_type']}: {failure['message']}")
+            else:
+                print(f"  {label:24s} ipc={cell['metrics']['ipc']:.4f} "
+                      f"faults={cell['metrics']['faults']}")
+        return 2 if result["degraded"] else 0
+    return 0 if status in ("queued", "running", "done") else 1
+
+
+def _run_submit(parser: argparse.ArgumentParser,
+                args: argparse.Namespace) -> int:
+    import json
+
+    from repro.serve import ServiceClient, ServiceUnreachable
+
+    if bool(args.scenario) == bool(args.spec_json):
+        parser.error("submit needs exactly one of SCENARIO or --spec-json")
+    payload: dict = (
+        {"scenario": args.scenario}
+        if args.scenario
+        else {"spec": json.loads(args.spec_json)}
+    )
+    if args.chaos:
+        payload["chaos"] = args.chaos
+    if args.deadline is not None:
+        payload["deadline"] = args.deadline
+    client = ServiceClient(args.host, args.port)
+    try:
+        response = client.submit(payload)
+        if response.status != 202:
+            print(f"rejected ({response.status}): "
+                  f"{response.body.get('error')}: "
+                  f"{response.body.get('message')}", file=sys.stderr)
+            if response.retry_after is not None:
+                print(f"retry after {response.retry_after:.0f}s",
+                      file=sys.stderr)
+            return 1
+        job_id = response.body["job_id"]
+        if response.body.get("deduped"):
+            print(f"deduplicated onto in-flight job {job_id}")
+        else:
+            print(f"submitted as {job_id}")
+        if args.no_wait:
+            print(f"watch with: hpe-repro watch {job_id} "
+                  f"--host {args.host} --port {args.port}")
+            return 0
+        final = client.watch(job_id)
+        if not final.ok:
+            print(f"lost the job ({final.status}): "
+                  f"{final.body.get('message')}", file=sys.stderr)
+            return 1
+        return _print_job_view(final.body)
+    except ServiceUnreachable as error:
+        print(str(error), file=sys.stderr)
+        print("is 'hpe-repro serve' running?", file=sys.stderr)
+        return 1
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    from repro.serve import ServiceClient, ServiceUnreachable
+
+    client = ServiceClient(args.host, args.port)
+    try:
+        final = client.watch(args.job_id, timeout=args.timeout)
+    except ServiceUnreachable as error:
+        print(str(error), file=sys.stderr)
+        return 1
+    if not final.ok:
+        print(f"{final.status}: {final.body.get('message')}",
+              file=sys.stderr)
+        return 1
+    return _print_job_view(final.body)
+
+
 def _dispatch(parser: argparse.ArgumentParser,
               args: argparse.Namespace) -> int:
+    if args.command == "serve":
+        return _run_serve(parser, args)
+
+    if args.command == "submit":
+        return _run_submit(parser, args)
+
+    if args.command == "watch":
+        return _run_watch(args)
+
     if args.command == "resume":
         return _resume(args)
 

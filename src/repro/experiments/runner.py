@@ -478,6 +478,51 @@ class _MatrixSigTerm(BaseException):
     """Internal: SIGTERM converted to an exception for clean shutdown."""
 
 
+class _SerialCellTimeout(Exception):
+    """Internal: a serial (jobs=1) cell ran past its wall-clock budget."""
+
+
+class _SerialDeadline:
+    """SIGALRM-based wall-clock enforcement for serial cells.
+
+    ``jobs=1`` runs in-process, so there is no worker to kill — but an
+    interval timer can still interrupt a runaway cell.  Armed around
+    each attempt; disarmed (and the previous handler restored) the
+    moment the attempt finishes, so the alarm can never fire inside
+    journaling or cache writes.  Enforcement is skipped — exactly as
+    documented for ``REPRO_WORKER_TIMEOUT=0`` — when the timeout is 0,
+    off the main thread, or the platform lacks ``setitimer``.
+    """
+
+    def __init__(self, timeout: float) -> None:
+        self.timeout = timeout
+
+    @property
+    def enforcing(self) -> bool:
+        return (
+            self.timeout > 0
+            and hasattr(signal, "setitimer")
+            and threading.current_thread() is threading.main_thread()
+        )
+
+    def __enter__(self) -> "_SerialDeadline":
+        if not self.enforcing:
+            return self
+
+        def handler(_signum: int, _frame: object) -> None:
+            raise _SerialCellTimeout()
+
+        self._previous = signal.signal(signal.SIGALRM, handler)
+        signal.setitimer(signal.ITIMER_REAL, self.timeout)
+        return self
+
+    def __exit__(self, *_exc: object) -> None:
+        if not self.enforcing:
+            return
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, self._previous)
+
+
 def _chaos_serial_raise(action: str, key: str, attempt: int) -> None:
     """Serial-mode chaos: raise the stand-in exception for ``action``."""
     if action == "crash":
@@ -524,8 +569,10 @@ def run_matrix(
     one retry (never the matrix), and results are folded in the same
     deterministic order the serial path produces.  Workers build traces
     locally (traces are never pickled across the boundary).  ``jobs=1``
-    runs serially in this process with the same retry discipline but no
-    wall-clock timeout enforcement (there is no process to kill).
+    runs serially in this process with the same retry discipline; the
+    wall-clock timeout is enforced there too via a SIGALRM interval
+    timer (``REPRO_WORKER_TIMEOUT=0`` disables enforcement on every
+    path — the documented escape hatch for debugging a slow cell).
 
     When the persistent cache is on (and the run is not observed), every
     completion is recorded in an append-only run journal keyed by the
@@ -710,12 +757,14 @@ def run_scenario(
     try:
         # jobs > 1 always takes the supervised path — even for a single
         # remaining cell (e.g. a resume with one missing job) — because
-        # only the supervisor enforces the wall-clock timeout; the serial
-        # path can retry but never kill a hung simulation.
+        # the supervisor enforces the wall-clock timeout by killing the
+        # worker; the serial path enforces it with SIGALRM, which can
+        # interrupt a runaway cell but not reclaim one stuck in C code.
         if jobs == 1:
             _run_serial(
                 matrix, remaining, cell_specs,
                 chaos_spec=chaos_spec,
+                timeout=resil_supervisor.resolve_timeout(timeout),
                 retries=resil_supervisor.resolve_retries(retries),
                 backoff=resil_supervisor.resolve_backoff(backoff),
                 note=note, journal_done=journal_done,
@@ -760,6 +809,7 @@ def _run_serial(
     cell_specs: dict[RunKey, ScenarioSpec],
     *,
     chaos_spec: Optional[ChaosSpec],
+    timeout: float,
     retries: int,
     backoff: float,
     note,
@@ -770,7 +820,11 @@ def _run_serial(
 
     Chaos crash/hang actions degrade to in-process exceptions
     (:class:`~repro.resil.ChaosCrashError` / ``ChaosHangError``) so
-    every failure mode stays testable without subprocesses.
+    every failure mode stays testable without subprocesses.  The
+    per-cell wall-clock ``timeout`` is enforced too — via a SIGALRM
+    interval timer (:class:`_SerialDeadline`) rather than a process
+    kill — so a single runaway cell can no longer wedge a serial run;
+    ``REPRO_WORKER_TIMEOUT=0`` is the documented escape hatch.
     """
     previous_spec = resil_chaos.active_spec()
     if chaos_spec is not None:
@@ -785,11 +839,14 @@ def _run_serial(
             attempt = 1
             while True:
                 try:
-                    if chaos_spec is not None:
-                        action = chaos_spec.worker_action(job_key, attempt)
-                        if action is not None:
-                            _chaos_serial_raise(action, job_key, attempt)
-                    result = run_spec(cell_specs[key])
+                    with _SerialDeadline(timeout):
+                        if chaos_spec is not None:
+                            action = chaos_spec.worker_action(
+                                job_key, attempt
+                            )
+                            if action is not None:
+                                _chaos_serial_raise(action, job_key, attempt)
+                        result = run_spec(cell_specs[key])
                 except Exception as exc:  # noqa: BLE001 — degraded, not hidden
                     if attempt <= retries:
                         total_retries += 1
@@ -801,10 +858,20 @@ def _run_serial(
                             time.sleep(min(delay, 5.0))
                         continue
                     elapsed = time.monotonic() - started
+                    if isinstance(exc, _SerialCellTimeout):
+                        # Match the supervised path's failure identity.
+                        error_type = "JobTimeout"
+                        message = (
+                            f"no result within {timeout:.1f}s "
+                            "(serial in-process deadline)"
+                        )
+                    else:
+                        error_type = type(exc).__name__
+                        message = str(exc)
                     failure = JobFailure(
                         key=job_key,
-                        error_type=type(exc).__name__,
-                        message=str(exc),
+                        error_type=error_type,
+                        message=message,
                         attempts=attempt,
                         elapsed=elapsed,
                     )

@@ -9,7 +9,10 @@ The package has four pillars, each in its own module:
 * :mod:`repro.resil.journal` — the append-only checkpoint/resume run
   manifest;
 * :mod:`repro.resil.supervisor` — the supervised worker pool with
-  timeouts, retries, and crash isolation.
+  timeouts, retries, and crash isolation;
+* :mod:`repro.resil.settings` — the one typed resolver for every
+  ``REPRO_*`` resilience/serving knob (``hpe-repro serve
+  --print-config`` dumps it).
 
 The experiment runner (:mod:`repro.experiments.runner`) threads them
 together; :class:`MatrixInterrupted` and :data:`EXIT_INTERRUPTED` are
@@ -45,6 +48,8 @@ from repro.resil.journal import (
     JournalSummary,
     RunJournal,
 )
+from repro.resil.settings import KNOBS, ResilSettings
+from repro.resil.settings import resolve as resolve_settings
 from repro.resil.supervisor import (
     DEFAULT_BACKOFF_S,
     DEFAULT_RETRIES,
@@ -52,10 +57,12 @@ from repro.resil.supervisor import (
     ENV_BACKOFF,
     ENV_RETRIES,
     ENV_TIMEOUT,
+    ENV_WORKER_TIMEOUT,
     JobFailure,
     JobOutcome,
     SupervisorInterrupted,
     WorkerSupervisor,
+    compact_tail,
     resolve_backoff,
     resolve_retries,
     resolve_timeout,
@@ -104,7 +111,10 @@ __all__ = [
     "ENV_JOURNAL",
     "ENV_RETRIES",
     "ENV_TIMEOUT",
+    "ENV_WORKER_TIMEOUT",
     "EXIT_INTERRUPTED",
+    "KNOBS",
+    "ResilSettings",
     "ChaosCrashError",
     "ChaosHangError",
     "ChaosSpec",
@@ -123,12 +133,14 @@ __all__ = [
     "atomic_write_bytes",
     "atomic_write_json",
     "atomic_write_text",
+    "compact_tail",
     "frame_payload",
     "is_framed",
     "journal_enabled",
     "replace_into",
     "resolve_backoff",
     "resolve_retries",
+    "resolve_settings",
     "resolve_timeout",
     "unframe_payload",
 ]

@@ -29,6 +29,7 @@ across jobs) and are respawned on demand after a crash or kill.
 from __future__ import annotations
 
 import hashlib
+import math
 import os
 import sys
 import tempfile
@@ -41,8 +42,10 @@ from typing import Any, Callable, Optional, Sequence
 
 from repro.resil.chaos import CHAOS_CRASH_EXIT, ChaosSpec
 from repro.resil import chaos as chaos_module
+from repro.resil import settings as resil_settings
 
-#: Per-job wall-clock timeout in seconds (``REPRO_TIMEOUT``).
+#: Per-job wall-clock timeout in seconds (``REPRO_WORKER_TIMEOUT``,
+#: legacy ``REPRO_TIMEOUT``; 0 disables enforcement).
 DEFAULT_TIMEOUT_S = 600.0
 #: Extra attempts after the first failure (``REPRO_RETRIES``).
 DEFAULT_RETRIES = 2
@@ -50,53 +53,79 @@ DEFAULT_RETRIES = 2
 DEFAULT_BACKOFF_S = 0.25
 
 ENV_TIMEOUT = "REPRO_TIMEOUT"
+ENV_WORKER_TIMEOUT = "REPRO_WORKER_TIMEOUT"
 ENV_RETRIES = "REPRO_RETRIES"
 ENV_BACKOFF = "REPRO_BACKOFF"
 
 #: How long a worker hang simulation sleeps (far past any sane timeout).
 _HANG_SLEEP_S = 86400.0
 
-#: Bytes of worker stderr attached to a failure record.
+#: Default bytes of worker stderr attached to a failure record
+#: (``REPRO_STDERR_TAIL``; see :func:`compact_tail`).
 STDERR_TAIL_BYTES = 4096
 
 
-def _env_float(name: str, default: float) -> float:
-    raw = os.environ.get(name, "").strip()
-    try:
-        value = float(raw) if raw else default
-    except ValueError:
-        return default
-    return value if value > 0 else default
-
-
-def _env_int(name: str, default: int) -> int:
-    raw = os.environ.get(name, "").strip()
-    try:
-        value = int(raw) if raw else default
-    except ValueError:
-        return default
-    return value if value >= 0 else default
-
-
 def resolve_timeout(timeout: Optional[float] = None) -> float:
-    """Per-job timeout: explicit value, then ``REPRO_TIMEOUT``, then default."""
-    if timeout is not None and timeout > 0:
-        return timeout
-    return _env_float(ENV_TIMEOUT, DEFAULT_TIMEOUT_S)
+    """Per-job timeout: explicit value, env, then default (0 = disabled).
+
+    A thin adapter over :func:`repro.resil.settings.resolve` — the one
+    knob table — kept for the call sites and tests that predate it.
+    ``REPRO_WORKER_TIMEOUT=0`` (or an explicit ``timeout=0``) disables
+    wall-clock enforcement entirely; the legacy ``REPRO_TIMEOUT``
+    cannot express 0.
+    """
+    return resil_settings.resolve(worker_timeout=timeout).worker_timeout
 
 
 def resolve_retries(retries: Optional[int] = None) -> int:
     """Retry budget: explicit value, then ``REPRO_RETRIES``, then default."""
-    if retries is not None and retries >= 0:
-        return retries
-    return _env_int(ENV_RETRIES, DEFAULT_RETRIES)
+    return resil_settings.resolve(retries=retries).retries
 
 
 def resolve_backoff(backoff: Optional[float] = None) -> float:
     """Backoff base: explicit value, then ``REPRO_BACKOFF``, then default."""
-    if backoff is not None and backoff >= 0:
-        return backoff
-    return _env_float(ENV_BACKOFF, DEFAULT_BACKOFF_S)
+    return resil_settings.resolve(backoff=backoff).backoff
+
+
+def compact_tail(text: str, limit: int = STDERR_TAIL_BYTES) -> str:
+    """Bound a stderr tail: collapse duplicate-line runs, cap the bytes.
+
+    A crash-looping worker prints the same traceback (or injected-chaos
+    notice) every attempt; attaching that verbatim bloats journals and
+    service error responses with pure repetition.  Consecutive
+    duplicate lines collapse to one line plus an ``[xN]`` marker, and
+    the result keeps its *tail* (the newest, most diagnostic end) when
+    it still exceeds ``limit`` UTF-8 bytes.
+    """
+    if not text:
+        return text
+    out: list[str] = []
+    run_line: Optional[str] = None
+    run_count = 0
+
+    def flush() -> None:
+        if run_line is None:
+            return
+        out.append(run_line)
+        if run_count > 1:
+            out.append(f"  [repeated x{run_count}]")
+
+    for line in text.splitlines():
+        if line == run_line:
+            run_count += 1
+            continue
+        flush()
+        run_line = line
+        run_count = 1
+    flush()
+    compacted = "\n".join(out)
+    encoded = compacted.encode("utf-8")
+    if len(encoded) > limit:
+        compacted = encoded[-limit:].decode("utf-8", errors="replace")
+        cut = compacted.find("\n")
+        if 0 <= cut < len(compacted) - 1:
+            compacted = compacted[cut + 1:]  # drop the torn first line
+    return compacted
 
 
 def backoff_delay(base: float, key: str, attempt: int) -> float:
@@ -276,9 +305,13 @@ class WorkerSupervisor:
             raise ValueError("jobs must be >= 1")
         self.worker_fn = worker_fn
         self.jobs = jobs
-        self.timeout = resolve_timeout(timeout)
-        self.retries = resolve_retries(retries)
-        self.backoff = resolve_backoff(backoff)
+        settings = resil_settings.resolve(
+            worker_timeout=timeout, retries=retries, backoff=backoff
+        )
+        self.timeout = settings.worker_timeout
+        self.retries = settings.retries
+        self.backoff = settings.backoff
+        self.stderr_limit = settings.stderr_tail_bytes
         self.chaos = chaos
         self.stats = SupervisorStats()
         if mp_context is None:
@@ -334,15 +367,23 @@ class WorkerSupervisor:
             pass
 
     def _stderr_tail(self, worker: _Worker) -> str:
-        """Stderr this worker wrote since its current job was assigned."""
+        """Stderr this worker wrote since its current job was assigned.
+
+        Bounded and deduplicated (:func:`compact_tail`) so a
+        crash-looping worker cannot bloat failure records, journals, or
+        service error responses with repeated tracebacks.
+        """
         try:
             size = worker.stderr_path.stat().st_size
             with worker.stderr_path.open("rb") as stream:
-                start = max(worker.stderr_offset, size - STDERR_TAIL_BYTES)
+                # Read a few multiples of the bound so duplicate-line
+                # collapsing has material to work with, then compact.
+                start = max(worker.stderr_offset, size - 4 * self.stderr_limit)
                 stream.seek(start)
-                return stream.read().decode("utf-8", errors="replace")
+                raw = stream.read().decode("utf-8", errors="replace")
         except OSError:
             return ""
+        return compact_tail(raw, self.stderr_limit)
 
     def shutdown(self) -> None:
         """Stop every worker (graceful send, then terminate) and clean up."""
@@ -444,7 +485,10 @@ class WorkerSupervisor:
         except OSError:
             worker.stderr_offset = 0
         worker.job = job
-        worker.deadline = now + self.timeout
+        # timeout 0 is the documented escape hatch: no deadline at all.
+        worker.deadline = (
+            now + self.timeout if self.timeout > 0 else math.inf
+        )
         worker.conn.send((job.key, job.payload, job.attempt))
 
     def _next_pending(self, pending: list[_Job], now: float) -> Optional[_Job]:

@@ -1,0 +1,55 @@
+"""Simulation-as-a-service: the fault-tolerant evaluation server.
+
+ROADMAP item 1.  The package turns the resilient matrix engine
+(:func:`repro.experiments.runner.run_scenario` over the supervised
+worker pool, result cache and journal) into a long-lived service:
+
+* :mod:`repro.serve.ratelimit` — token bucket + per-spec circuit
+  breaker, both fake-clock testable;
+* :mod:`repro.serve.service` — the transport-free core: admission →
+  single-flight dedupe → dispatch → per-cell graceful degradation;
+* :mod:`repro.serve.http` — stdlib-asyncio HTTP/JSON transport with
+  read timeouts, graceful SIGTERM/SIGINT drain, and exit-75 semantics;
+* :mod:`repro.serve.client` — the ``hpe-repro submit|watch`` client;
+* :mod:`repro.serve.chaos_client` — deterministic hostile clients
+  (slow / abandoned / malformed / duplicate requests);
+* :mod:`repro.serve.bench_schema` — the ``BENCH_service.json``
+  validator CI runs against the load benchmark's artifact.
+
+The invariant the whole stack defends: **every request gets a
+structured answer** — a result, explicit DEGRADED cells, or a
+400/408/413/429/503 JSON body with ``Retry-After`` where meaningful.
+Connections are never silently dropped, and a crashing worker never
+takes a request (let alone the server) down with it.
+"""
+
+from __future__ import annotations
+
+from repro.serve.chaos_client import ChaosClient, ChaosClientReport
+from repro.serve.client import ServiceClient, ServiceResponse, ServiceUnreachable
+from repro.serve.http import Server, ServerThread, serve_forever
+from repro.serve.ratelimit import BreakerDecision, CircuitBreaker, TokenBucket
+from repro.serve.service import (
+    EvaluationService,
+    Job,
+    Rejection,
+    summarize_matrix,
+)
+
+__all__ = [
+    "BreakerDecision",
+    "ChaosClient",
+    "ChaosClientReport",
+    "CircuitBreaker",
+    "EvaluationService",
+    "Job",
+    "Rejection",
+    "Server",
+    "ServerThread",
+    "ServiceClient",
+    "ServiceResponse",
+    "ServiceUnreachable",
+    "TokenBucket",
+    "serve_forever",
+    "summarize_matrix",
+]

@@ -1,0 +1,134 @@
+"""Schema validation for ``BENCH_service.json`` (no jsonschema dep).
+
+CI's ``service`` job runs the load benchmark and then validates the
+artifact with :func:`validate_bench_service` so a drive-by edit cannot
+silently drop a metric the dashboards read.  The checker is a small
+hand-rolled walker: required keys, types, and range constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Required numeric fields of one load-test record and their bounds
+#: (inclusive lower, or ``None`` for unbounded).
+_NUMERIC_FIELDS: dict[str, float] = {
+    "clients": 1,
+    "requests": 1,
+    "duplicates": 0,
+    "latency_p50_ms": 0,
+    "latency_p99_ms": 0,
+    "throughput_rps": 0,
+    "shed_rate": 0,
+    "dedupe_hit_rate": 0,
+    "answered": 0,
+    "unanswered": 0,
+    "wall_s": 0,
+}
+
+#: Fields that are rates in [0, 1].
+_RATE_FIELDS = ("shed_rate", "dedupe_hit_rate")
+
+
+def validate_bench_service(data: object) -> list[str]:
+    """Every schema violation in ``data`` (empty list == valid).
+
+    Expected shape::
+
+        {"service_load": {
+            "<scenario label>": {
+                "clients": N, "requests": N, "duplicates": N,
+                "latency_p50_ms": x, "latency_p99_ms": x,
+                "throughput_rps": x, "shed_rate": r,
+                "dedupe_hit_rate": r, "answered": N, "unanswered": N,
+                "wall_s": x, "chaos": "...",
+            }, ...
+        }}
+    """
+    problems: list[str] = []
+    if not isinstance(data, Mapping):
+        return [f"top level must be an object, got {type(data).__name__}"]
+    section = data.get("service_load")
+    if not isinstance(section, Mapping):
+        return ["missing or non-object 'service_load' section"]
+    if not section:
+        return ["'service_load' has no records"]
+    for label, record in section.items():
+        prefix = f"service_load[{label!r}]"
+        if not isinstance(record, Mapping):
+            problems.append(f"{prefix}: record must be an object")
+            continue
+        for name, lower in _NUMERIC_FIELDS.items():
+            value = record.get(name)
+            if not isinstance(value, (int, float)) or isinstance(value, bool):
+                problems.append(
+                    f"{prefix}.{name}: expected a number, got {value!r}"
+                )
+                continue
+            if value < lower:
+                problems.append(
+                    f"{prefix}.{name}: {value} below lower bound {lower}"
+                )
+        for name in _RATE_FIELDS:
+            value = record.get(name)
+            if isinstance(value, (int, float)) and not isinstance(
+                value, bool
+            ) and value > 1:
+                problems.append(
+                    f"{prefix}.{name}: rate {value} above 1"
+                )
+        if not isinstance(record.get("chaos", ""), str):
+            problems.append(f"{prefix}.chaos: expected a string")
+        p50 = record.get("latency_p50_ms")
+        p99 = record.get("latency_p99_ms")
+        if (
+            isinstance(p50, (int, float)) and isinstance(p99, (int, float))
+            and not isinstance(p50, bool) and not isinstance(p99, bool)
+            and p99 < p50
+        ):
+            problems.append(
+                f"{prefix}: p99 ({p99}) below p50 ({p50})"
+            )
+        answered = record.get("answered")
+        requests = record.get("requests")
+        unanswered = record.get("unanswered")
+        if (
+            isinstance(answered, int) and isinstance(requests, int)
+            and isinstance(unanswered, int)
+            and answered + unanswered < requests
+        ):
+            problems.append(
+                f"{prefix}: answered ({answered}) + unanswered "
+                f"({unanswered}) below requests ({requests}) — "
+                f"requests were dropped without a structured response"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI shim: ``python -m repro.serve.bench_schema BENCH_service.json``."""
+    import argparse
+    import json
+    import sys
+
+    parser = argparse.ArgumentParser(
+        description="validate a BENCH_service.json artifact"
+    )
+    parser.add_argument("path", help="path to BENCH_service.json")
+    options = parser.parse_args(argv)
+    try:
+        with open(options.path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"unreadable artifact: {exc}", file=sys.stderr)
+        return 2
+    problems = validate_bench_service(data)
+    for problem in problems:
+        print(f"schema violation: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"{options.path}: ok")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

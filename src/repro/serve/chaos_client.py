@@ -1,0 +1,233 @@
+"""Client-side chaos: hostile request patterns against a live server.
+
+The worker-side chaos harness (:mod:`repro.resil.chaos`) kills and
+hangs *workers*; this module misbehaves as a *client* — the other half
+of the failure surface an evaluation service must survive:
+
+``slow``
+    Dribbles the request bytes slower than ``read_timeout`` — the
+    server must answer 408 and free the connection.
+``abandon``
+    Opens a connection, sends half a request, and disconnects — the
+    server must not leak the handler task.
+``malformed``
+    Sends syntactically broken HTTP or invalid JSON — the server must
+    answer 400 with a structured body, never crash.
+``duplicate``
+    Submits the same spec several times concurrently — single-flight
+    dedupe must collapse them onto one evaluation.
+
+All misbehaviour is deterministic: each request's faults derive from
+``sha256(seed | kind | index)``, the same construction the worker-side
+harness uses, so a failing chaos run replays exactly.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import select
+import socket
+import time
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.serve.client import ServiceClient, ServiceResponse, ServiceUnreachable
+
+#: The hostile request kinds, in roll order.
+CHAOS_KINDS = ("slow", "abandon", "malformed", "duplicate")
+
+
+def chaos_roll(seed: int, kind: str, index: int) -> float:
+    """Deterministic uniform [0, 1) roll for one (kind, request) pair."""
+    digest = hashlib.sha256(
+        f"{seed}|client-{kind}|{index}".encode("utf-8")
+    ).digest()
+    return int.from_bytes(digest[:8], "big") / float(1 << 64)
+
+
+@dataclass
+class ChaosClientReport:
+    """What one chaos-client campaign did and how the server answered."""
+
+    sent: int = 0
+    slow: int = 0
+    abandoned: int = 0
+    malformed: int = 0
+    duplicates: int = 0
+    #: Structured HTTP answers received (status -> count).
+    statuses: dict[int, int] = field(default_factory=dict)
+    #: Requests that got no structured answer *excluding* the ones we
+    #: abandoned on purpose (those legitimately have no response).
+    unanswered: int = 0
+
+    def note(self, response: Optional[ServiceResponse]) -> None:
+        self.sent += 1
+        if response is None:
+            self.unanswered += 1
+        else:
+            self.statuses[response.status] = (
+                self.statuses.get(response.status, 0) + 1
+            )
+
+
+class ChaosClient:
+    """Deterministically hostile client for one server."""
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        seed: int = 0,
+        slow: float = 0.0,
+        abandon: float = 0.0,
+        malformed: float = 0.0,
+        duplicate: float = 0.0,
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.seed = seed
+        self.rates = {
+            "slow": slow,
+            "abandon": abandon,
+            "malformed": malformed,
+            "duplicate": duplicate,
+        }
+        self.client = ServiceClient(host, port)
+        self.report = ChaosClientReport()
+
+    def _rolls(self, index: int) -> dict[str, bool]:
+        return {
+            kind: chaos_roll(self.seed, kind, index) < self.rates[kind]
+            for kind in CHAOS_KINDS
+        }
+
+    # -- hostile sends ------------------------------------------------
+
+    def _raw_socket(self) -> socket.socket:
+        sock = socket.create_connection((self.host, self.port), timeout=30.0)
+        sock.settimeout(30.0)
+        return sock
+
+    def send_slow(self, body: bytes, trickle_delay: float) -> Optional[ServiceResponse]:
+        """Dribble a request slower than the server's read timeout.
+
+        Stops trickling as soon as the server answers (a 408 arrives
+        mid-send) — writing into a closed connection would RST away
+        the very response under test.
+        """
+        request = (
+            b"POST /v1/submit HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            b"Content-Length: " + str(len(body)).encode() + b"\r\n\r\n" + body
+        )
+        try:
+            with self._raw_socket() as sock:
+                for offset in range(0, len(request), 16):
+                    readable, _w, _x = select.select([sock], [], [], 0)
+                    if readable:
+                        break  # the server already answered
+                    try:
+                        sock.sendall(request[offset:offset + 16])
+                    except (ConnectionError, OSError):
+                        break
+                    time.sleep(trickle_delay)
+                return _read_raw_response(sock)
+        except (ConnectionError, OSError):
+            return None
+
+    def send_abandoned(self) -> None:
+        """Half a request, then hang up."""
+        try:
+            with self._raw_socket() as sock:
+                sock.sendall(b"POST /v1/submit HTTP/1.1\r\nContent-Le")
+        except (ConnectionError, OSError):
+            pass
+
+    def send_malformed(self, index: int) -> Optional[ServiceResponse]:
+        """Broken HTTP or broken JSON, alternating deterministically."""
+        if index % 2 == 0:
+            try:
+                return self.client.request(
+                    "POST", "/v1/submit", {"scenario": None, "bogus": 1}
+                )
+            except ServiceUnreachable:
+                return None
+        raw = b"GARBAGE NOT HTTP\r\n\r\n"
+        try:
+            with self._raw_socket() as sock:
+                sock.sendall(raw)
+                return _read_raw_response(sock)
+        except (ConnectionError, OSError):
+            return None
+
+    # -- campaign -----------------------------------------------------
+
+    def run(
+        self,
+        payload: dict[str, object],
+        count: int,
+        *,
+        trickle_delay: float = 0.05,
+    ) -> ChaosClientReport:
+        """Fire ``count`` requests at the server, faults per the rolls.
+
+        Every non-abandoned request's answer (or lack of one) is
+        recorded in the report; the contract under test is that only
+        deliberately abandoned requests may go unanswered.
+        ``trickle_delay`` is the per-16-byte pause of a ``slow`` send —
+        size it against the server's ``read_timeout``.
+        """
+        body = json.dumps(payload).encode("utf-8")
+        for index in range(count):
+            rolls = self._rolls(index)
+            if rolls["abandon"]:
+                self.report.sent += 1
+                self.report.abandoned += 1
+                self.send_abandoned()
+                continue
+            if rolls["malformed"]:
+                self.report.malformed += 1
+                self.report.note(self.send_malformed(index))
+                continue
+            if rolls["slow"]:
+                self.report.slow += 1
+                self.report.note(self.send_slow(body, trickle_delay))
+                continue
+            repeats = 2 if rolls["duplicate"] else 1
+            self.report.duplicates += repeats - 1
+            for _repeat in range(repeats):
+                try:
+                    self.report.note(self.client.submit(payload))
+                except ServiceUnreachable:
+                    self.report.note(None)
+        return self.report
+
+
+def _read_raw_response(sock: socket.socket) -> Optional[ServiceResponse]:
+    """Parse status + JSON body off a raw socket (best effort)."""
+    chunks = []
+    try:
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    except (ConnectionError, OSError, socket.timeout):
+        pass
+    raw = b"".join(chunks)
+    if not raw.startswith(b"HTTP/1.1 "):
+        return None
+    try:
+        status = int(raw[9:12])
+    except ValueError:
+        return None
+    _head, _sep, body = raw.partition(b"\r\n\r\n")
+    try:
+        parsed = json.loads(body.decode("utf-8")) if body else {}
+    except (UnicodeDecodeError, json.JSONDecodeError):
+        parsed = {}
+    if not isinstance(parsed, dict):
+        parsed = {"value": parsed}
+    return ServiceResponse(status=status, body=parsed)

@@ -1,0 +1,149 @@
+"""Stdlib HTTP client for the evaluation service.
+
+``hpe-repro submit`` / ``hpe-repro watch`` wrap this; tests and the
+load benchmark drive it directly.  Plain :mod:`http.client`, one
+connection per request (the server answers ``Connection: close``).
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+
+class ServiceUnreachable(ConnectionError):
+    """The server could not be reached (connection refused / reset)."""
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """One HTTP exchange: status, parsed JSON body, Retry-After."""
+
+    status: int
+    body: dict[str, object]
+    retry_after: Optional[float] = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class ServiceClient:
+    """Talk to one ``hpe-repro serve`` instance."""
+
+    def __init__(
+        self, host: str = "127.0.0.1", port: int = 8135, timeout: float = 70.0
+    ) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # -- plumbing -----------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict[str, object]] = None,
+    ) -> ServiceResponse:
+        """One exchange; raises :class:`ServiceUnreachable` on no-server."""
+        body = None
+        headers = {}
+        if payload is not None:
+            body = json.dumps(payload).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            connection.request(method, path, body=body, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+            retry_after = None
+            header = response.getheader("Retry-After")
+            if header is not None:
+                try:
+                    retry_after = float(header)
+                except ValueError:
+                    retry_after = None
+            try:
+                parsed = json.loads(raw.decode("utf-8")) if raw else {}
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                parsed = {"error": "unparseable_body", "raw": repr(raw[:200])}
+            if not isinstance(parsed, dict):
+                parsed = {"value": parsed}
+            return ServiceResponse(
+                status=response.status, body=parsed, retry_after=retry_after
+            )
+        except (ConnectionError, OSError) as exc:
+            raise ServiceUnreachable(
+                f"cannot reach {self.host}:{self.port}: {exc}"
+            ) from exc
+        finally:
+            connection.close()
+
+    # -- typed endpoints ----------------------------------------------
+
+    def submit(self, payload: dict[str, object]) -> ServiceResponse:
+        """POST one evaluation request (see the service for the schema)."""
+        return self.request("POST", "/v1/submit", payload)
+
+    def submit_scenario(
+        self,
+        name: str,
+        *,
+        chaos: str = "",
+        deadline: Optional[float] = None,
+    ) -> ServiceResponse:
+        payload: dict[str, object] = {"scenario": name}
+        if chaos:
+            payload["chaos"] = chaos
+        if deadline is not None:
+            payload["deadline"] = deadline
+        return self.submit(payload)
+
+    def job(self, job_id: str, wait: float = 0.0) -> ServiceResponse:
+        path = f"/v1/jobs/{job_id}"
+        if wait > 0:
+            path += f"?wait={wait:g}"
+        return self.request("GET", path)
+
+    def watch(
+        self,
+        job_id: str,
+        *,
+        timeout: float = 600.0,
+        poll: float = 2.0,
+    ) -> ServiceResponse:
+        """Block until ``job_id`` is terminal (or ``timeout`` expires).
+
+        Long-polls with server-side ``wait`` so the common case is one
+        round-trip; falls back to client-side sleeping between polls if
+        the job outlives a single wait window.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                return self.job(job_id)
+            response = self.job(job_id, wait=min(30.0, max(0.1, remaining)))
+            if not response.ok:
+                return response
+            if response.body.get("status") not in ("queued", "running"):
+                return response
+            time.sleep(min(poll, max(0.0, deadline - time.monotonic())))
+
+    def health(self) -> ServiceResponse:
+        return self.request("GET", "/healthz")
+
+    def ready(self) -> ServiceResponse:
+        return self.request("GET", "/readyz")
+
+    def stats(self) -> ServiceResponse:
+        return self.request("GET", "/v1/stats")
+
+    def scenarios(self) -> ServiceResponse:
+        return self.request("GET", "/v1/scenarios")

@@ -1,0 +1,383 @@
+"""Asyncio HTTP/JSON transport for the evaluation service.
+
+Stdlib only (``asyncio.start_server`` + a minimal HTTP/1.1 parser) —
+the container has no third-party HTTP framework, and the protocol
+surface is tiny: five JSON endpoints, ``Connection: close`` on every
+response.
+
+Routes
+------
+``POST /v1/submit``
+    Body: ``{"scenario": name}`` | ``{"spec": {...}}`` | ``{"cell":
+    {...}}`` plus optional ``chaos`` and ``deadline``.  202 on
+    admission, 400/429/503 (with ``Retry-After``) on rejection —
+    always a structured JSON body.
+``GET /v1/jobs/<id>[?wait=S]``
+    Job snapshot; ``wait`` blocks up to S seconds for a terminal state.
+``GET /v1/jobs`` / ``GET /v1/scenarios`` / ``GET /v1/stats``
+    Listings and service statistics.
+``GET /healthz`` / ``GET /readyz``
+    Liveness (always 200 while the process runs) and readiness (503
+    while draining or saturated).
+
+Robustness: slow clients are cut off after ``read_timeout`` with 408;
+bodies over :data:`MAX_BODY_BYTES` get 413; malformed requests get
+400.  SIGTERM/SIGINT starts a graceful drain — the listener closes,
+in-flight evaluations get ``drain_grace`` seconds to finish, and the
+process exits 0 (clean) or 75 (``EX_TEMPFAIL``: journaled work
+remains; ``hpe-repro resume`` picks it up).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+from typing import Any, Optional
+from urllib.parse import parse_qs, urlsplit
+
+from repro.resil import EXIT_INTERRUPTED
+from repro.serve.service import EvaluationService
+
+#: Request bodies above this answer 413 (a matrix spec is < 2 KiB).
+MAX_BODY_BYTES = 1 << 20
+
+#: Upper bound on ``?wait=`` long-polling (keeps executor threads free).
+MAX_WAIT_S = 60.0
+
+_STATUS_TEXT = {
+    200: "OK", 202: "Accepted", 400: "Bad Request", 404: "Not Found",
+    405: "Method Not Allowed", 408: "Request Timeout",
+    413: "Payload Too Large", 429: "Too Many Requests",
+    500: "Internal Server Error", 503: "Service Unavailable",
+}
+
+
+def _encode_response(status: int, body: dict[str, object]) -> bytes:
+    payload = json.dumps(body, sort_keys=True).encode("utf-8")
+    headers = [
+        f"HTTP/1.1 {status} {_STATUS_TEXT.get(status, 'Unknown')}",
+        "Content-Type: application/json",
+        f"Content-Length: {len(payload)}",
+        "Connection: close",
+    ]
+    retry_after = body.get("retry_after")
+    if isinstance(retry_after, (int, float)) and status in (429, 503):
+        headers.append(f"Retry-After: {max(1, round(float(retry_after)))}")
+    return ("\r\n".join(headers) + "\r\n\r\n").encode("ascii") + payload
+
+
+class Server:
+    """One listening socket bound to one :class:`EvaluationService`."""
+
+    def __init__(
+        self,
+        service: EvaluationService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = port
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._drain_requested = asyncio.Event()
+
+    # -- request handling ---------------------------------------------
+
+    async def _read_request(
+        self, reader: asyncio.StreamReader
+    ) -> tuple[str, str, bytes]:
+        """Parse one request → (method, target, body).  Raises on junk."""
+        timeout = self.service.settings.read_timeout
+        header_blob = await asyncio.wait_for(
+            reader.readuntil(b"\r\n\r\n"), timeout=timeout
+        )
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        parts = head.split(" ")
+        if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+            raise ValueError(f"malformed request line: {head!r}")
+        method, target, _version = parts
+        length = 0
+        for line in header_lines:
+            name, _, value = line.partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    length = int(value.strip())
+                except ValueError as exc:
+                    raise ValueError("malformed Content-Length") from exc
+        if length > MAX_BODY_BYTES:
+            raise _TooLarge(length)
+        body = b""
+        if length > 0:
+            body = await asyncio.wait_for(
+                reader.readexactly(length), timeout=timeout
+            )
+        return method, target, body
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            try:
+                method, target, body = await self._read_request(reader)
+            except (asyncio.TimeoutError, TimeoutError):
+                await self._respond(writer, 408, {
+                    "error": "read_timeout",
+                    "message": "request not received in time",
+                })
+                return
+            except _TooLarge as exc:
+                await self._respond(writer, 413, {
+                    "error": "payload_too_large",
+                    "message": f"body of {exc.length} bytes exceeds "
+                               f"{MAX_BODY_BYTES}",
+                })
+                return
+            except (ValueError, asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError) as exc:
+                await self._respond(writer, 400, {
+                    "error": "malformed_request",
+                    "message": str(exc),
+                })
+                return
+            status, payload = await self._route(method, target, body)
+            await self._respond(writer, status, payload)
+        except (ConnectionError, BrokenPipeError):
+            pass  # abandoned client — nothing left to tell it
+        except Exception as exc:  # noqa: BLE001 - last-resort 500
+            try:
+                await self._respond(writer, 500, {
+                    "error": "internal",
+                    "message": f"{type(exc).__name__}: {exc}",
+                })
+            except (ConnectionError, BrokenPipeError):
+                pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict[str, object],
+    ) -> None:
+        writer.write(_encode_response(status, body))
+        await writer.drain()
+
+    async def _route(
+        self, method: str, target: str, body: bytes
+    ) -> tuple[int, dict[str, object]]:
+        split = urlsplit(target)
+        path = split.path.rstrip("/") or "/"
+        query = parse_qs(split.query)
+        loop = asyncio.get_running_loop()
+        if path == "/v1/submit":
+            if method != "POST":
+                return 405, _method_not_allowed("POST")
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                return 400, {
+                    "error": "invalid_json",
+                    "message": f"body is not valid JSON: {exc}",
+                }
+            return await loop.run_in_executor(
+                None, self.service.submit, payload
+            )
+        if method != "GET":
+            return 405, _method_not_allowed("GET")
+        if path == "/healthz":
+            return 200, self.service.health()
+        if path == "/readyz":
+            ready, view = self.service.ready()
+            return (200 if ready else 503), view
+        if path == "/v1/stats":
+            return 200, self.service.stats()
+        if path == "/v1/scenarios":
+            return 200, {"scenarios": self.service.scenarios()}
+        if path == "/v1/jobs":
+            return 200, {"jobs": self.service.list_jobs()}
+        if path.startswith("/v1/jobs/"):
+            job_id = path[len("/v1/jobs/"):]
+            wait = _parse_wait(query)
+            view = await loop.run_in_executor(
+                None, self.service.snapshot, job_id, wait
+            )
+            if view is None:
+                return 404, {
+                    "error": "unknown_job",
+                    "message": f"no job {job_id!r} (terminal jobs are "
+                               f"kept only for a bounded window)",
+                }
+            return 200, view
+        return 404, {
+            "error": "unknown_route",
+            "message": f"no route {method} {path}",
+        }
+
+    # -- lifecycle ----------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind the listener; ``self.port`` is the real port after this."""
+        self._server = await asyncio.start_server(
+            self._handle, host=self.host, port=self.port
+        )
+        sockets = self._server.sockets or []
+        if sockets:
+            self.port = sockets[0].getsockname()[1]
+
+    def request_drain(self) -> None:
+        """Signal-safe trigger for a graceful drain."""
+        self._drain_requested.set()
+
+    async def run_until_drained(self) -> int:
+        """Serve until a drain is requested; returns the exit status."""
+        if self._server is None:
+            await self.start()
+        assert self._server is not None
+        await self._drain_requested.wait()
+        # Stop accepting, then give in-flight work its grace period.
+        self._server.close()
+        await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        stranded = await loop.run_in_executor(None, self.service.drain)
+        return EXIT_INTERRUPTED if stranded else 0
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+
+
+class _TooLarge(Exception):
+    def __init__(self, length: int) -> None:
+        super().__init__(f"body too large: {length}")
+        self.length = length
+
+
+def _method_not_allowed(allowed: str) -> dict[str, object]:
+    return {
+        "error": "method_not_allowed",
+        "message": f"only {allowed} is accepted here",
+        "allowed": allowed,
+    }
+
+
+def _parse_wait(query: dict[str, list[str]]) -> float:
+    raw = (query.get("wait") or ["0"])[0]
+    try:
+        return max(0.0, min(MAX_WAIT_S, float(raw)))
+    except ValueError:
+        return 0.0
+
+
+def serve_forever(
+    service: EvaluationService,
+    host: str = "127.0.0.1",
+    port: int = 8135,
+    *,
+    banner: bool = True,
+) -> int:
+    """Blocking entry point for ``hpe-repro serve``.
+
+    Installs SIGTERM/SIGINT handlers that trigger a graceful drain and
+    returns the process exit status: 0 after a clean drain, 75
+    (``EX_TEMPFAIL``) when in-flight requests were stranded — their
+    journals survive for ``hpe-repro resume``.
+    """
+
+    async def _main() -> int:
+        server = Server(service, host=host, port=port)
+        await server.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(signum, server.request_drain)
+            except (NotImplementedError, RuntimeError):
+                pass  # non-main thread / exotic loop: Ctrl-C still works
+        if banner:
+            print(f"hpe-repro serve: listening on {host}:{server.port}")
+            print("endpoints: POST /v1/submit  GET /v1/jobs/<id>  "
+                  "GET /v1/stats  GET /healthz  GET /readyz")
+        try:
+            return await server.run_until_drained()
+        finally:
+            await server.stop()
+
+    try:
+        return asyncio.run(_main())
+    except KeyboardInterrupt:
+        # Signal handler could not be installed; treat ^C as a drain.
+        stranded = service.drain()
+        return EXIT_INTERRUPTED if stranded else 0
+
+
+class ServerThread:
+    """A live server on a background thread — tests and benchmarks.
+
+    Binds an ephemeral port, runs the asyncio loop off-thread, and
+    tears down cleanly::
+
+        with ServerThread(service) as server:
+            client = ServiceClient("127.0.0.1", server.port)
+            ...
+    """
+
+    def __init__(
+        self, service: EvaluationService, host: str = "127.0.0.1"
+    ) -> None:
+        self.service = service
+        self.host = host
+        self.port = 0
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._server: Optional[Server] = None
+        self._thread: Optional[threading.Thread] = None
+        self._started = threading.Event()
+
+    def __enter__(self) -> "ServerThread":
+        self.start()
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+    def start(self) -> None:
+        self._thread = threading.Thread(
+            target=self._run, name="serve-http", daemon=True
+        )
+        self._thread.start()
+        if not self._started.wait(timeout=10.0):
+            raise RuntimeError("server thread failed to start")
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        server = Server(self.service, host=self.host, port=0)
+        self._server = server
+
+        async def _main() -> None:
+            await server.start()
+            self.port = server.port
+            self._started.set()
+            await server.run_until_drained()
+
+        try:
+            loop.run_until_complete(_main())
+        finally:
+            loop.close()
+
+    def close(self) -> None:
+        """Drain the service and join the server thread."""
+        if self._loop is not None and self._server is not None:
+            try:
+                self._loop.call_soon_threadsafe(self._server.request_drain)
+            except RuntimeError:
+                pass  # loop already closed
+        if self._thread is not None:
+            self._thread.join(timeout=30.0)

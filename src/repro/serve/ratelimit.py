@@ -1,0 +1,181 @@
+"""Admission-control primitives: token bucket and circuit breaker.
+
+Both take an injectable monotonic ``clock`` so unit tests drive them
+with a fake clock — no ``time.sleep``, fully deterministic — and both
+quote a ``retry_after`` so the HTTP layer can answer 429/503 with an
+honest ``Retry-After`` header instead of a bare rejection.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+Clock = Callable[[], float]
+
+
+class TokenBucket:
+    """Classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``rate <= 0`` disables the limiter (every acquire succeeds) —
+    matching the ``REPRO_RATE_LIMIT=0`` knob semantics.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._tokens = self.burst
+        self._stamp = self._clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = max(0.0, now - self._stamp)
+        self._stamp = now
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    @property
+    def tokens(self) -> float:
+        """Current token count (after refill) — monitoring only."""
+        if self.rate <= 0:
+            return self.burst
+        self._refill()
+        return self._tokens
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if self.rate <= 0:
+            return True
+        self._refill()
+        if self._tokens >= tokens:
+            self._tokens -= tokens
+            return True
+        return False
+
+    def retry_after(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are)."""
+        if self.rate <= 0:
+            return 0.0
+        self._refill()
+        deficit = tokens - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate
+
+
+@dataclass
+class _BreakerEntry:
+    consecutive_failures: int = 0
+    opened_at: float = 0.0
+    open: bool = False
+    probing: bool = False
+
+
+@dataclass(frozen=True)
+class BreakerDecision:
+    """Outcome of one admission check against a key's breaker state."""
+
+    allowed: bool
+    #: Seconds until the next probe would be admitted (0 when allowed).
+    retry_after: float = 0.0
+    #: True when this admission is the single half-open probe.
+    probe: bool = False
+
+
+class CircuitBreaker:
+    """Per-key breaker: ``threshold`` consecutive failures open it.
+
+    The service keys breakers by spec hash, so a *poison request* — one
+    whose workers crash every time — gets quarantined instead of
+    grinding the pool forever.  An open breaker rejects with a quoted
+    ``retry_after`` until ``cooldown`` elapses, then admits exactly one
+    half-open probe; the probe's success closes the breaker, its
+    failure re-opens it for another cooldown.
+
+    ``threshold <= 0`` disables the breaker.  Tracked keys are bounded
+    (LRU) so an adversarial spread of unique specs cannot grow memory.
+    """
+
+    #: Bound on tracked keys; closed, quiet entries are evicted first.
+    MAX_KEYS = 1024
+
+    def __init__(
+        self,
+        threshold: int,
+        cooldown: float,
+        clock: Optional[Clock] = None,
+        max_keys: int = MAX_KEYS,
+    ) -> None:
+        self.threshold = int(threshold)
+        self.cooldown = float(cooldown)
+        self._clock: Clock = clock if clock is not None else time.monotonic
+        self._entries: OrderedDict[str, _BreakerEntry] = OrderedDict()
+        self._max_keys = max_keys
+        self.tripped_total = 0
+
+    def _entry(self, key: str) -> _BreakerEntry:
+        entry = self._entries.get(key)
+        if entry is None:
+            entry = _BreakerEntry()
+            self._entries[key] = entry
+            while len(self._entries) > self._max_keys:
+                self._entries.popitem(last=False)
+        else:
+            self._entries.move_to_end(key)
+        return entry
+
+    def check(self, key: str) -> BreakerDecision:
+        """May a request for ``key`` be admitted right now?"""
+        if self.threshold <= 0:
+            return BreakerDecision(allowed=True)
+        entry = self._entry(key)
+        if not entry.open:
+            return BreakerDecision(allowed=True)
+        elapsed = self._clock() - entry.opened_at
+        if elapsed < self.cooldown:
+            return BreakerDecision(
+                allowed=False, retry_after=self.cooldown - elapsed
+            )
+        if entry.probing:
+            # The one half-open probe is already in flight.
+            return BreakerDecision(allowed=False, retry_after=self.cooldown)
+        entry.probing = True
+        return BreakerDecision(allowed=True, probe=True)
+
+    def record_success(self, key: str) -> None:
+        """A completed evaluation closed cleanly — reset the key."""
+        if self.threshold <= 0:
+            return
+        entry = self._entry(key)
+        entry.consecutive_failures = 0
+        entry.open = False
+        entry.probing = False
+
+    def record_failure(self, key: str) -> bool:
+        """A crash/timeout-degraded evaluation; returns True on trip."""
+        if self.threshold <= 0:
+            return False
+        entry = self._entry(key)
+        entry.consecutive_failures += 1
+        entry.probing = False
+        if entry.open or entry.consecutive_failures >= self.threshold:
+            newly = not entry.open
+            entry.open = True
+            entry.opened_at = self._clock()
+            if newly:
+                self.tripped_total += 1
+            return True
+        return False
+
+    def open_keys(self) -> list[str]:
+        """Keys currently quarantined (monitoring/stats)."""
+        return [key for key, e in self._entries.items() if e.open]

@@ -1,0 +1,161 @@
+"""Serial-path wall-clock deadlines and stderr-tail compaction.
+
+ISSUE 9 satellites 1 and 6: ``jobs=1`` runs used to be the one path
+with no timeout at all — a hung cell wedged the whole run forever.
+Now the serial path enforces the same per-cell ``worker_timeout`` via
+a SIGALRM interval timer, failing the cell as ``JobTimeout`` exactly
+like the supervised pool would; ``REPRO_WORKER_TIMEOUT=0`` is the
+documented escape hatch.  And the stderr tail attached to a
+``JobFailure`` is bounded and de-duplicated by ``compact_tail``.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.experiments import runner as runner_module
+from repro.experiments.runner import _SerialCellTimeout, _SerialDeadline
+from repro.resil.supervisor import STDERR_TAIL_BYTES, compact_tail
+from repro.scenarios.spec import MatrixSpec
+
+
+class TestSerialDeadline:
+    def test_interrupts_a_runaway_body(self):
+        with pytest.raises(_SerialCellTimeout):
+            with _SerialDeadline(0.2):
+                time.sleep(5.0)
+
+    def test_fast_body_unaffected(self):
+        with _SerialDeadline(5.0):
+            value = sum(range(1000))
+        assert value == 499500
+
+    def test_zero_timeout_never_enforces(self):
+        deadline = _SerialDeadline(0.0)
+        assert not deadline.enforcing
+        with deadline:
+            time.sleep(0.01)
+
+    def test_timer_is_cancelled_on_exit(self):
+        import signal
+
+        with _SerialDeadline(0.2):
+            pass
+        # Were the itimer still armed, this sleep would be interrupted.
+        time.sleep(0.3)
+        assert signal.getitimer(signal.ITIMER_REAL) == (0.0, 0.0)
+
+
+def _tiny_spec() -> MatrixSpec:
+    return MatrixSpec(
+        policies=("lru",), rates=(0.5,), apps=("HOT",), scale=0.25,
+    )
+
+
+class TestSerialRunTimeout:
+    @pytest.fixture(autouse=True)
+    def _cold_result_cache(self):
+        # These tests monkeypatch run_spec and assert it actually runs;
+        # a warm result cache would serve the cell and bypass it.
+        from repro.sim import cache as sim_cache
+
+        previous = sim_cache.cache_enabled()
+        sim_cache.configure(enabled=False)
+        try:
+            yield
+        finally:
+            sim_cache.configure(enabled=previous)
+
+    def test_hung_cell_degrades_as_job_timeout(self, monkeypatch):
+        def hang(spec):
+            time.sleep(30.0)
+
+        monkeypatch.setattr(runner_module, "run_spec", hang)
+        matrix = runner_module.run_scenario(
+            _tiny_spec(), jobs=1, timeout=0.3, retries=0, journal=False,
+        )
+        assert matrix.degraded
+        failure = next(iter(matrix.failures.values()))
+        assert failure.error_type == "JobTimeout"
+        assert "serial in-process deadline" in failure.message
+
+    def test_retry_budget_applies_before_degrading(self, monkeypatch):
+        calls = []
+
+        def hang_once_then_fast(spec):
+            calls.append(spec)
+            if len(calls) == 1:
+                time.sleep(30.0)
+            return _real_run_spec(spec)
+
+        _real_run_spec = runner_module.run_spec
+        monkeypatch.setattr(
+            runner_module, "run_spec", hang_once_then_fast
+        )
+        matrix = runner_module.run_scenario(
+            _tiny_spec(), jobs=1, timeout=0.3, retries=1,
+            backoff=0.01, journal=False,
+        )
+        assert not matrix.degraded
+        assert len(calls) == 2
+
+    def test_zero_timeout_escape_hatch(self, monkeypatch):
+        def slowish(spec):
+            time.sleep(0.2)
+            return _real_run_spec(spec)
+
+        _real_run_spec = runner_module.run_spec
+        monkeypatch.setattr(runner_module, "run_spec", slowish)
+        # timeout=0 disables enforcement: the slow cell completes even
+        # though 0.2s would have tripped a 0.1s-style deadline.
+        matrix = runner_module.run_scenario(
+            _tiny_spec(), jobs=1, timeout=0, retries=0, journal=False,
+        )
+        assert not matrix.degraded
+
+    def test_env_escape_hatch_reaches_the_serial_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKER_TIMEOUT", "0")
+        from repro.resil.supervisor import resolve_timeout
+
+        assert resolve_timeout() == 0.0
+        assert not _SerialDeadline(resolve_timeout()).enforcing
+
+
+class TestCompactTail:
+    def test_consecutive_duplicates_collapse(self):
+        text = "warn: retry\n" * 5 + "error: gone\n"
+        compacted = compact_tail(text)
+        assert compacted.splitlines() == [
+            "warn: retry", "  [repeated x5]", "error: gone",
+        ]
+
+    def test_non_consecutive_lines_kept(self):
+        text = "a\nb\na\nb\n"
+        assert compact_tail(text).splitlines() == ["a", "b", "a", "b"]
+
+    def test_byte_bound_keeps_the_tail(self):
+        lines = [f"line {i:06d}" for i in range(10_000)]
+        compacted = compact_tail("\n".join(lines), limit=256)
+        assert len(compacted.encode("utf-8")) <= 256
+        assert compacted.splitlines()[-1] == "line 009999"
+
+    def test_default_limit_is_the_settings_default(self):
+        noisy = "x" * (STDERR_TAIL_BYTES * 3)
+        assert len(compact_tail(noisy).encode("utf-8")) <= STDERR_TAIL_BYTES
+
+    def test_multibyte_never_torn(self):
+        text = "é" * 10_000
+        compacted = compact_tail(text, limit=64)
+        compacted.encode("utf-8")  # round-trips cleanly
+        assert len(compacted.encode("utf-8")) <= 64
+
+    def test_empty_and_whitespace(self):
+        assert compact_tail("") == ""
+        # Blank lines compact like any other repeated line.
+        assert compact_tail("\n\n\n").splitlines() == ["", "  [repeated x3]"]
+
+    def test_repeat_marker_counts_correctly(self):
+        compacted = compact_tail("same\nsame\n")
+        assert compacted.splitlines() == ["same", "  [repeated x2]"]

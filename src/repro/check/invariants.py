@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Optional
 
+from repro.core import soa
 from repro.core.hir import COUNTER_MAX as HIR_COUNTER_MAX
 from repro.core.hpe import HPEPolicy
 from repro.core.pageset import COUNTER_CAP, PageSetEntry, SetPart
@@ -180,6 +181,7 @@ class InvariantChecker:
         self.stats.sweeps += 1
         self._check_frame_bijection()
         self._check_page_table_residency()
+        self._check_residency_bitmap()
         self._check_capacity()
         self._check_tlb_subset()
         self._check_policy_residency()
@@ -251,6 +253,20 @@ class InvariantChecker:
                 "free + occupied frames do not cover capacity",
                 free=len(free), used=len(page_of_frame),
                 capacity=pool.capacity,
+            )
+
+    def _check_residency_bitmap(self) -> None:
+        """The pool's flat SoA residency view mirrors the frame map."""
+        self._tick()
+        pool = self.simulator.frame_pool
+        bitmap_pages = set(pool.residency)
+        map_pages = set(pool._frame_of_page)
+        if bitmap_pages != map_pages:
+            self._fail(
+                "residency-bitmap",
+                "flat residency bitmap disagrees with the frame map",
+                only_in_bitmap=sorted(bitmap_pages - map_pages)[:8],
+                only_in_map=sorted(map_pages - bitmap_pages)[:8],
             )
 
     def _check_page_table_residency(self) -> None:
@@ -396,12 +412,11 @@ class InvariantChecker:
         self._tick()
         chain = policy.chain
         partitions = (
-            ("old", chain._old), ("middle", chain._middle),
-            ("new", chain._new),
+            ("old", soa.OLD), ("middle", soa.MIDDLE), ("new", soa.NEW),
         )
         seen: dict = {}
         for name, partition in partitions:
-            for key, entry in partition.items():
+            for key, entry in chain.partition_items(partition):
                 if entry.key != key:
                     self._fail(
                         "chain-partition",

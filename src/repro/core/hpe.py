@@ -463,6 +463,58 @@ class HPEPolicy(EvictionPolicy):
             self.adjustment.on_eviction(page)
         return page
 
+    def select_victims_batch(self, count: int) -> list[int]:
+        """Drain-based batch victim selection (fastpath v3, DESIGN §13).
+
+        One strategy search picks a page-set entry; the batch then
+        drains that entry's resident pages in ``lowest_resident_offset``
+        order before searching again.  With no interleaved page-ins the
+        chain is static between searches, so LRU-style strategies would
+        re-select the same entry anyway; MRU_C's jump distance can move
+        mid-drain after ``adjustment.on_eviction``, which is the
+        documented metric-level relaxation (R3/R4) — per-page
+        bookkeeping (mark_evicted, resident count, adjustment, divided
+        history) still matches the sequential path page for page.
+        """
+        if count <= 0:
+            return []
+        if self.classification is None:
+            self._classify_now()
+        stats = self.stats
+        adjustment = self.adjustment
+        victims: list[int] = []
+        entry: Optional[PageSetEntry] = None
+        while len(victims) < count:
+            if entry is None:
+                strategy = self._current_strategy()
+                jump = 0
+                if strategy is StrategyKind.MRU_C and adjustment is not None:
+                    jump = adjustment.jump
+                result: SearchResult = select(
+                    strategy, self.chain, self.config.page_set_size, jump
+                )
+                if result.entry is None:
+                    raise PolicyError("HPE chain is empty; nothing to evict")
+                stats.searches += 1
+                stats.comparisons_total += result.comparisons
+                stats.comparisons_max = max(
+                    stats.comparisons_max, result.comparisons
+                )
+                entry = result.entry
+            offset = entry.lowest_resident_offset()
+            page = self.geometry.first_page_of(entry.tag) + offset
+            entry.mark_evicted(offset)
+            self._resident_pages -= 1
+            if entry.resident_count == 0:
+                self.chain.remove(entry.key)
+                if entry.divided and entry.part is SetPart.PRIMARY:
+                    self.history.record(entry.tag, entry.member_mask)
+                entry = None
+            if adjustment is not None:
+                adjustment.on_eviction(page)
+            victims.append(page)
+        return victims
+
     # ------------------------------------------------------------------
     # Timing hooks
     # ------------------------------------------------------------------

@@ -281,7 +281,9 @@ def run_spec(
     simulator = UVMSimulator.for_scenario(
         spec, policy_obj, capacity, obs=observation
     )
-    result = simulator.run(trace.pages, workload_name=app_spec.abbr)
+    result = simulator.run(
+        trace.pages, workload_name=app_spec.abbr, fast=spec.fastpath
+    )
     result.extras["policy"] = policy_obj
     result.extras["pattern_type"] = app_spec.pattern_type
     result.extras["rate"] = spec.rate

@@ -81,6 +81,20 @@ class EvictionPolicy(abc.ABC):
         the returned page, so the policy must also forget it.
         """
 
+    def select_victims_batch(self, count: int) -> list[int]:
+        """Return ``count`` victims for one batched eviction burst.
+
+        The relaxed batch kernel (fastpath v3) calls this once per fault
+        run, with **no page-ins interleaved** between the selections.
+        The default is the literal sequential loop, so every policy is
+        batch-safe out of the box.  Overrides may amortize the
+        per-victim search (HPE drains each selected page set) but must
+        stay *metric-equivalent* to the sequential loop under the
+        no-interleaved-page-ins premise — the v3 contract (DESIGN §13).
+        """
+        select_victim = self.select_victim
+        return [select_victim() for _ in range(count)]
+
     def resident_count(self) -> Optional[int]:
         """Number of pages the policy believes are resident, if tracked."""
         return None

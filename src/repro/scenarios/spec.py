@@ -163,6 +163,11 @@ class ScenarioSpec:
     config: Optional[GPUConfig] = None
     hpe_config: Optional[HPEConfig] = None
     prefetch_degree: int = 0
+    #: Requested simulator tier.  ``None`` ≡ the engine default; tiers
+    #: 0–2 are bit-identical so they share one identity, while the
+    #: relaxed tier 3 (DESIGN §13) is *metric-equivalent* only and must
+    #: carry its own digest — see :meth:`canonical`.
+    fastpath: Optional[int] = None
     #: Extra generator parameters for non-paper families (sorted pairs).
     params: tuple[tuple[str, object], ...] = ()
 
@@ -174,6 +179,10 @@ class ScenarioSpec:
         object.__setattr__(self, "params", _normalise_params(self.params))
         if self.prefetch_degree < 0:
             raise ScenarioError("prefetch_degree must be non-negative")
+        if self.fastpath is not None and self.fastpath not in (0, 1, 2, 3):
+            raise ScenarioError(
+                f"fastpath must be None or 0..3, got {self.fastpath!r}"
+            )
 
     @property
     def effective_config(self) -> GPUConfig:
@@ -193,8 +202,16 @@ class ScenarioSpec:
         return self.hpe_config or HPEConfig()
 
     def canonical(self) -> str:
-        """The one normalised identity string every hash derives from."""
-        return "|".join([
+        """The one normalised identity string every hash derives from.
+
+        The ``fastpath`` field participates **only when it selects a
+        relaxed tier** (≥ 3): tiers 0–2 are proven bit-identical by the
+        differential harness, so pinning any of them is a performance
+        knob, not an identity change, and every pre-existing digest
+        stays stable.  Tier-3 results may drift within the §13
+        tolerances and therefore hash differently.
+        """
+        parts = [
             f"schema={_cache_schema_version()}",
             f"family={self.family}",
             f"workload={self.workload}",
@@ -206,7 +223,10 @@ class ScenarioSpec:
             f"config={stable_config_repr(self.effective_config)}",
             f"hpe={stable_config_repr(self.effective_hpe_config)}",
             f"params={_params_canonical(self.params)}",
-        ])
+        ]
+        if self.fastpath is not None and self.fastpath >= 3:
+            parts.append(f"fastpath={self.fastpath}")
+        return "|".join(parts)
 
     def digest(self) -> str:
         """SHA-256 of :meth:`canonical` — the result-cache fingerprint."""
@@ -227,6 +247,7 @@ class ScenarioSpec:
             "seed": self.seed,
             "scale": self.scale,
             "prefetch_degree": self.prefetch_degree,
+            "fastpath": self.fastpath,
             "config": stable_config_repr(self.config),
             "hpe_config": stable_config_repr(self.hpe_config),
             "params": dict(self.params),

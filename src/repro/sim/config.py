@@ -30,18 +30,33 @@ FASTPATH_ENV = "REPRO_SIM_FASTPATH"
 DEFAULT_FASTPATH_LEVEL = 2
 
 
+#: Highest selectable tier.  Tiers 0–2 are bit-identical; tier 3 is the
+#: *metric-equivalent* relaxed kernel (DESIGN §13) and must be opted
+#: into explicitly — it is never the default.
+MAX_FASTPATH_LEVEL = 3
+
+
 def resolve_fastpath_level(fast: Optional[Union[bool, int]] = None) -> int:
     """Resolve the requested fastpath tier to an integer level.
 
     Levels: ``0`` — reference loop; ``1`` — flattened v1 loop; ``2`` —
     vectorized batch kernel (v2) with per-run eligibility fallback to
-    v1.  ``fast`` may be ``None`` (consult :data:`FASTPATH_ENV`, default
+    v1; ``3`` — the relaxed *metric-equivalent* kernel (v3, tolerance-
+    gated rather than bit-identical — DESIGN §13) with per-run
+    eligibility fallback to v2 then v1.  ``fast`` may be ``None``
+    (consult :data:`FASTPATH_ENV`, default
     :data:`DEFAULT_FASTPATH_LEVEL`), a bool (the historical ``fast=``
     argument: ``True`` → default tier, ``False`` → reference), or an
-    explicit level.  Out-of-range values clamp into ``[0, 2]``.
+    explicit level.  Out-of-range values clamp into ``[0, 3]``.
+
+    The env var alone clamps to ``[0, 2]``: tier 3 changes simulated
+    metrics, so it must arrive as an *explicit* argument (a spec's
+    ``fastpath`` field, a CLI tier flag, or ``fast=3``) that the result
+    cache and run identities can see — an ambient env var must never
+    silently relax cached results.
     """
     if fast is None:
-        # Tier selection only: every tier is bit-identical (diff-gated),
+        # Tier selection only: tiers 0-2 are bit-identical (diff-gated),
         # so the env read steers speed, never cached results.
         raw = os.environ.get(FASTPATH_ENV, "")  # noqa: REP012
         if not raw.strip():
@@ -50,11 +65,12 @@ def resolve_fastpath_level(fast: Optional[Union[bool, int]] = None) -> int:
             level = int(raw)
         except ValueError:
             return DEFAULT_FASTPATH_LEVEL
-    elif isinstance(fast, bool):
+        return max(0, min(2, level))  # env caps at the bit-identical tiers
+    if isinstance(fast, bool):
         level = DEFAULT_FASTPATH_LEVEL if fast else 0
     else:
         level = int(fast)
-    return max(0, min(2, level))
+    return max(0, min(MAX_FASTPATH_LEVEL, level))
 
 
 @dataclass(frozen=True)

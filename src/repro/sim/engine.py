@@ -129,15 +129,19 @@ class UVMSimulator:
     ) -> SimulationResult:
         """Replay ``trace`` and return the collected metrics.
 
-        Three equivalent inner loops exist: the vectorized batch kernel
-        (tier 2, the default), the flattened v1 loop (tier 1), and the
-        straightforward reference loop (tier 0).  They produce
-        bit-identical results — ``tests/diff`` cross-checks them — and
-        ``fast=False`` / ``REPRO_SIM_FASTPATH=0`` selects the reference
-        loop for debugging, ``REPRO_SIM_FASTPATH=1`` the v1 loop.  Runs
-        the batch kernel cannot replay bit-identically (observed,
-        sanitized, offline policies, prefetching) silently fall back
-        from tier 2 to tier 1.
+        Four inner loops exist: the relaxed metric-equivalent kernel
+        (tier 3, explicit opt-in only — DESIGN §13), the vectorized
+        batch kernel (tier 2, the default), the flattened v1 loop
+        (tier 1), and the straightforward reference loop (tier 0).
+        Tiers 0–2 produce bit-identical results — ``tests/diff``
+        cross-checks them — and ``fast=False`` /
+        ``REPRO_SIM_FASTPATH=0`` selects the reference loop for
+        debugging, ``REPRO_SIM_FASTPATH=1`` the v1 loop.  Runs a batch
+        kernel cannot replay (observed, sanitized, offline policies,
+        prefetching) fall back tier 3 → 2 → 1; the tier that actually
+        executed is recorded in ``result.extras["fastpath"]`` so
+        callers (the diff harness, the CLI) can report fallbacks
+        instead of silently comparing a tier against itself.
         """
         level = resolve_fastpath_level(fast)
         if self.policy.requires_future:
@@ -155,18 +159,32 @@ class UVMSimulator:
                 trace_length=len(trace),
             )
         started = time.monotonic()  # noqa: REP012 — extras-only timing
-        if level >= 2:
+        executed = level
+        if level >= 3:
+            from repro.sim import fastpath2, fastpath3
+
+            if fastpath3.eligible(self, trace):
+                cycles = fastpath3.replay(self, trace)
+            elif fastpath2.eligible(self):
+                executed = 2
+                cycles = fastpath2.replay(self, trace)
+            else:
+                executed = 1
+                cycles = self._replay_fast(trace)
+        elif level == 2:
             from repro.sim import fastpath2
 
             if fastpath2.eligible(self):
                 cycles = fastpath2.replay(self, trace)
             else:
+                executed = 1
                 cycles = self._replay_fast(trace)
         elif level == 1:
             cycles = self._replay_fast(trace)
         else:
             cycles = self._replay_reference(trace)
         result = self._collect(trace, workload_name, cycles)
+        result.extras["fastpath"] = {"requested": level, "executed": executed}
         # Wall-clock spent replaying, for supervisor/journal accounting.
         # Lives in ``extras`` — key_metrics() stays wall-clock-free so
         # determinism digests are unaffected.

@@ -1,74 +1,66 @@
-"""Fastpath v2 — the vectorized fault-batch replay kernel.
+"""Fastpath v3 — the relaxed, *metric-equivalent* batch kernel.
 
-The v1 fast path (:meth:`repro.sim.engine.UVMSimulator._replay_fast`)
-flattens the per-event dispatch but still touches every trace event in
-Python.  This kernel consumes the trace in **segments** — maximal
-prefixes of pairwise-distinct pages — and resolves each segment's common
-case with numpy array operations, dropping to scalar code only at
-*events*: capacity evictions, HIR transfers (every 16th fault), HPE
-interval boundaries (every 64th fault), and classification triggers.
-All of those fire inside policy callbacks that the kernel invokes in
-exact reference order, so ``key_metrics()`` stays **bit-identical** to
-the reference oracle (the ``tests/diff`` harness proves it).
+Tiers 0–2 are bit-identical by construction; this tier is not.  It
+trades a small, tolerance-gated drift in ``key_metrics()`` for batching
+the one path v2 still replays scalar — **eviction chains** — and is
+therefore **opt-in only**: the env var never selects it
+(:func:`repro.sim.config.resolve_fastpath_level` clamps the ambient
+path to tier 2) and the differential harness compares it against the
+reference under declared per-metric tolerances plus golden *trend*
+checks rather than equality (DESIGN §13, ``repro.check.diffrun``).
 
-Why a distinct-page segment can be batched
-------------------------------------------
+Everything classification-side is inherited from v2 and stays exact:
+distinct-page segments, the presence-masked candidate split with
+pressure-refinement proofs, live-probed flagged events, eviction flips,
+deferred TLB fills with closed-form batched eviction counts, and the
+closed-form warp/fault-queue timing recurrences.  Hit/miss/fault
+classification therefore matches the reference event for event *given
+the same structural state*.  What v3 changes is how a run of
+consecutive faults is serviced: instead of v2's per-fault scalar chain
+(select victim → shoot → page in, one event at a time), v3 services
+the whole run in capacity-bounded **chunks** — all victims first,
+then all page-ins, with one vectorized fault-queue timing pass.
 
-Within a segment no page repeats, so each event is the *first* touch of
-its page since the segment began.  That yields three static classes,
-computed once per segment from the residency map and an exact
-**presence map** (page → bitmask of the TLB structures holding it,
-maintained at every fill, LRU eviction, and shootdown):
+Documented relaxations (the §13 contract)
+-----------------------------------------
 
-``hit``
-    Resident and absent from the issuing SM's L1 TLB and the shared L2
-    TLB → the event is exactly ``L1 miss, L2 miss, walk hit``.  Runs of
-    hits are replayed with one batched policy callback, a tight PTE
-    loop, deferred TLB fills, and closed-form vector timing.
-``fault``
-    Non-resident and TLB-absent → ``L1 miss, L2 miss, walk fault``.
-    Runs of faults with free frames and untouched pages batch the frame
-    allocation and the PCIe queue timing; evicting faults run through an
-    inlined scalar chain whose victim shootdown consults the presence
-    mask (deleting only from the structures that actually hold the
-    victim, with the same live per-TLB shootdown counts).
-``flagged``
-    Present in some TLB at segment start and not provably evicted by
-    later pressure → replayed through the exact v1 scalar body (after
-    flushing deferred fills), which probes reality.
+R1  Victims for a chunk are selected *before* any of the chunk's
+    page-ins (``EvictionPolicy.select_victims_batch``), where the
+    reference interleaves select → page-in per fault.  For stock LRU
+    the victim sequence is provably unchanged (chunks never exceed
+    capacity, so every victim predates every chunk page-in); adaptive
+    policies (HPE's dynamic adjustment, CLOCK-Pro's hands, ARC's
+    ghosts) may choose different victims.
+R2  HPE drains each strategy-selected page set to exhaustion before
+    searching again (``HPEPolicy.select_victims_batch``), so ``MRU_C``
+    jump adjustments move between sets, not pages.
+R3  Within a chunk, all victim shootdowns precede the chunk's deferred
+    TLB fills, where the reference interleaves them per fault — the
+    TLB sets end with the same members only when no fill-pressure
+    eviction lands in between, so set contents (and later hit/miss
+    splits) can drift.
 
-Mid-segment **evictions** are the only way a classification can change:
-the victim stops being resident and (after the shootdown) is guaranteed
-TLB-absent, so its future position — pages occur once per segment —
-becomes a guaranteed fault.  The kernel *flips* that position into the
-fault class via a heap; batching therefore never reorders an eviction
-(DESIGN.md §9 develops the argument).  A shootdown can also invalidate
-a pressure-based unflag, but only when it removes an entry from the
-very set whose guaranteed-insert count justified it — the kernel tracks
-the last pressure-unflagged position per set and degrades the segment
-remainder to the scalar loop only on such a conflicting removal.
+Divergent victims change future residency, so every downstream metric
+— ``faults``, ``capacity_faults``, ``evictions``, byte counters,
+TLB/walker hit splits, ``cycles`` — may drift within the declared
+tolerances.  What stays **exact**: ``policy``, ``workload``,
+``capacity_pages``, ``footprint_pages``, ``trace_length``,
+``instructions``, ``compulsory_faults`` (first-touch sets are
+eviction-independent), ``prefetches``, HIR transfer boundaries (every
+16th fault) and HPE interval advances (every 64th) relative to the
+fault sequence, and per-fault PCIe byte accounting.
 
-Deferred TLB fills are sound because between two flushes the affected
-sets receive only inserts of distinct absent pages (every fault event
-flushes first, so shootdowns always see flushed state), so the final
-set contents and the eviction count have the closed form
-:meth:`repro.tlb.tlb.TLB.apply_batched_misses` implements.
-
-Fallbacks
----------
-
-Observed (``--obs``) and sanitized (``--sanitize``) runs need live
-per-event state (event emission mid-fault, invariant sweeps against
-un-deferred TLB contents), as do offline policies (``ideal``) and
-fault-around prefetching — :func:`eligible` routes those to the v1
-loop, which is bit-identical by PR 1's equivalence suite.  Everything
-here is behaviour-preserving *speed*, never behaviour.
+Fallback: :func:`eligible` mirrors v2's conditions (no obs, no
+sanitizer, no offline policy, no prefetching) plus flat-array bounds;
+ineligible runs drop to tier 2 then tier 1 in
+:meth:`repro.sim.engine.UVMSimulator.run`, which records the executed
+tier in ``extras["fastpath"]``.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import TYPE_CHECKING, Any, Optional, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Optional, Sequence
 
 from repro.core.soa import Bitmap
 from repro.memory.page_table import PageTableEntry
@@ -87,32 +79,45 @@ except ImportError:  # pragma: no cover - exercised via eligible()
 #: Hard cap on one segment's length (bounds per-segment numpy scratch).
 SEGMENT_CAP = 8192
 
-#: Distinct-page prefixes shorter than this are replayed scalar — the
-#: per-segment classification overhead would not amortize.
-MIN_SEGMENT = 256
+#: Distinct-page prefixes shorter than this are replayed scalar.  The
+#: v3 classifier is fully vectorized, so it amortizes on shorter
+#: segments than v2's python classification pass did.
+MIN_SEGMENT = 64
 
 #: Events replayed by the scalar-generic loop when segmentation fails
 #: (adversarial duplicate-heavy traces) before re-trying segmentation.
 SCALAR_CHUNK = 256
 
-#: Minimum consecutive free-frame faults worth batch-allocating.
-MIN_FREE_RUN = 8
-
-#: Below this many pending TLB fills, a flush replays plain sequential
-#: inserts instead of numpy set-grouping (eviction chains flush after
-#: every fault, with one or two fills pending).
+#: Below this many pending L2 fills, a flush replays plain sequential
+#: inserts instead of numpy set-grouping.
 SMALL_FLUSH = 32
+
+#: Upper bound on one batched fault chunk.  Smaller chunks keep the
+#: policy's view closer to the reference interleaving (less R1 drift
+#: for adaptive policies) at the cost of more flushes and batch calls;
+#: the value balances measured HPE drift against throughput (16 keeps
+#: the bench BFS/HPE cell metric-exact; ≥48 crosses HPE's page-set
+#: granularity and the victim stream diverges sharply).
+FAULT_CHUNK = 16
 
 #: Skip the pressure-refinement pass when a level has more sets than
 #: this (the per-set cumsum sweep would dominate); candidates then stay
 #: flagged, which is always sound.
 MAX_REFINE_KEYS = 64
 
+#: Pages at or above this bound disable the kernel: the flat presence
+#: and residency arrays are indexed by page number.
+MAX_PAGE = 1 << 22
+
+#: SM-count bound so every presence bitmask (one bit per L1 plus the
+#: L2 bit) fits the int64 presence array.
+MAX_SMS = 62
 
 #: When set to a dict (tests / perf triage), :func:`replay` tallies how
-#: many events each internal path handled — keys ``hit_run_events``,
-#: ``hit_runs``, ``free_run_events``, ``fault_events``,
-#: ``flagged_events``, ``scalar_events``, ``flushes``, ``segments``.
+#: many events each internal path handled — keys ``segments``,
+#: ``hit_run_events``, ``fault_run_events``, ``fault_chunks``,
+#: ``batched_evictions``, ``flagged_events``, ``scalar_events``,
+#: ``flushes``.
 DEBUG_COUNTS: Optional[dict[str, int]] = None
 
 
@@ -121,29 +126,41 @@ def numpy_available() -> bool:
     return np is not None
 
 
-def eligible(sim: "UVMSimulator") -> bool:
-    """Can ``sim`` run the batch kernel bit-identically?
+def eligible(sim: "UVMSimulator", trace: Optional[Sequence[int]] = None) -> bool:
+    """Can ``sim`` (replaying ``trace``) run the relaxed v3 kernel?
 
-    Observation and sanitizing need live per-event state, offline
-    policies consume per-event trace positions, and fault-around
-    prefetching migrates pages the segment classifier cannot see —
-    those runs take the (bit-identical) v1 loop instead.
+    The v2 conditions apply unchanged — observation and sanitizing need
+    live per-event state, offline policies consume trace positions, and
+    fault-around prefetching migrates pages the classifier cannot see.
+    On top of those, v3 indexes flat arrays by page number, so page
+    values must stay under :data:`MAX_PAGE` and the SM count under
+    :data:`MAX_SMS`.  Ineligible runs fall back to tier 2 then tier 1.
     """
-    return (
-        np is not None
-        and sim.obs is None
-        and sim.checker is None
-        and not sim.policy.requires_future
-        and sim.driver.prefetch_degree == 0
-    )
+    if (
+        np is None
+        or sim.obs is not None
+        or sim.checker is not None
+        or sim.policy.requires_future
+        or sim.driver.prefetch_degree != 0
+        or sim.config.num_sms > MAX_SMS
+    ):
+        return False
+    fop = sim.frame_pool._frame_of_page
+    if fop and max(fop) >= MAX_PAGE:
+        return False
+    if trace is not None and len(trace) > 0:
+        arr = np.asarray(trace, dtype=np.int64)
+        if int(arr.min()) < 0 or int(arr.max()) >= MAX_PAGE:
+            return False
+    return True
 
 
 def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
-    """Replay ``trace`` on ``sim`` with the batch kernel; return cycles.
+    """Replay ``trace`` on ``sim`` with the relaxed kernel; return cycles.
 
     Caller must have checked :func:`eligible`.  Mutates the simulator's
-    structures (TLBs, page table, frame pool, policy, stats) exactly as
-    the reference loop would.
+    structures (TLBs, page table, frame pool, policy, stats) to a state
+    *metric-equivalent* to the reference loop under the §13 contract.
     """
     assert np is not None
     config = sim.config
@@ -159,14 +176,11 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     policy_on_fault_pending = policy.on_fault_pending
     policy_on_page_in = policy.on_page_in
     policy_select_victim = policy.select_victim
-    # A base-class on_fault_pending is a documented no-op — skip the
-    # call entirely on the chain path when the policy never overrode it.
+    select_victims_batch = policy.select_victims_batch
     has_pending_cb = (
         policy.on_fault_pending.__func__  # type: ignore[attr-defined]
         is not EvictionPolicy.on_fault_pending
     )
-    # Exact-type check: subclasses could override any hook, so only the
-    # stock LRU policy gets its chain updates inlined.
     lru_chain = policy._chain if type(policy) is LRUPolicy else None
     driver = sim.driver
     stats = driver.stats
@@ -196,10 +210,6 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     walk_hit_total = l1_latency + l2_latency + walk_latency + mem_latency
     fault_begin_latency = l1_latency + l2_latency + walk_latency
     listeners = walker._hit_listeners
-    # Batched walk-hit dispatch: when the policy's own on_walk_hit is the
-    # only subscriber, hit runs go through policy.on_walk_hits (HPE's
-    # override feeds the HIR in one pass); otherwise the generic
-    # listener loop preserves arbitrary subscriber lists.
     if not listeners:
         hit_dispatch = 0
     elif len(listeners) == 1 and listeners[0] == policy.on_walk_hit:
@@ -211,15 +221,41 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     pages_arr = np.asarray(trace, dtype=np.int64)
     n = int(pages_arr.shape[0])
 
-    # Previous-occurrence index: prev_arr[j] is the latest i < j with
-    # pages[i] == pages[j], or -1.  One stable argsort for the whole
-    # trace makes every later distinct-prefix query a single slice scan.
+    # Previous-occurrence index (one stable argsort for the whole trace)
+    # makes every distinct-prefix query a single slice scan.
     prev_arr = np.full(n, -1, dtype=np.int64)
     if n > 1:
         order = np.argsort(pages_arr, kind="stable")
         sorted_pages = pages_arr[order]
         same = sorted_pages[1:] == sorted_pages[:-1]
         prev_arr[order[1:][same]] = order[:-1][same]
+
+    # --- flat page-indexed state (the SoA core the classifier reads) ---
+    # One int64 bitmask per page (bit ``s`` while SM ``s``'s L1 holds it,
+    # ``l2bit`` while the L2 does; 0 == absent) and one residency bool
+    # per page, replacing v2's presence dict — segment classification
+    # becomes two vector gathers.  Every page the kernel can index —
+    # trace events, initial residents, TLB contents (a subset of the
+    # residents) — is below ``top`` by the eligibility bound.
+    top = 1
+    if n:
+        top = int(pages_arr.max()) + 1
+    for p in fop:
+        if p >= top:
+            top = p + 1
+    l2bit = 1 << num_sms
+    not_l2 = ~l2bit
+    sm_bits = [1 << s for s in range(num_sms)]
+    sm_nbits = [~(1 << s) for s in range(num_sms)]
+    presence = [0] * top
+    for s in range(num_sms):
+        bit = sm_bits[s]
+        for entries_d in l1_sets[s]:
+            for p in entries_d:
+                presence[p] |= bit
+    for entries_d in l2_sets:
+        for p in entries_d:
+            presence[p] |= l2bit
 
     # --- mutable replay state (shared by the nested helpers) -----------
     sm_issue = [0] * num_sms
@@ -243,34 +279,14 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     d_bin = 0
     d_bout = 0
 
-    # Deferred TLB fills: every fill appends (page, frame) for the L2
-    # and for the issuing SM's L1; flushed before any real TLB probe.
+    # Deferred TLB fills, flushed before any real TLB probe or shootdown.
     pend_l2_p: list[int] = []
     pend_l2_f: list[int] = []
     pend_l1_p: list[list[int]] = [[] for _ in range(num_sms)]
     pend_l1_f: list[list[int]] = [[] for _ in range(num_sms)]
-
-    # Exact TLB-presence map: page -> bitmask with bit ``s`` set while
-    # SM ``s``'s L1 holds the page and ``l2bit`` set while the L2 does.
-    # Updated at every fill, LRU eviction, and shootdown (deferred fills
-    # land at flush time; every path that reads the map flushes first),
-    # so one dict probe classifies a page and one pop drives a shootdown
-    # that touches only the structures actually holding the victim.
-    l2bit = 1 << num_sms
-    not_l2 = ~l2bit
-    sm_bits = [1 << s for s in range(num_sms)]
-    sm_nbits = [~(1 << s) for s in range(num_sms)]
-    presence: dict[int, int] = {}
-    for s in range(num_sms):
-        bit = sm_bits[s]
-        for entries_d in l1_sets[s]:
-            for p in entries_d:
-                presence[p] = presence.get(p, 0) | bit
-    for entries_d in l2_sets:
-        for p in entries_d:
-            presence[p] = presence.get(p, 0) | l2bit
-    presence_get = presence.get
-    presence_pop = presence.pop
+    # Pages with a deferred fill outstanding: shootdowns consult this so
+    # fault chunks only pay a flush when a victim actually has one.
+    pend_pages: set[int] = set()
 
     # Per-segment registries of the last pressure-unflagged position in
     # each set (cleared by process_segment); a shootdown that removes an
@@ -288,6 +304,7 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
         count = len(pend_l2_p)
         if not count:
             return
+        pend_pages.clear()
         if dbg is not None:
             dbg["flushes"] = dbg.get("flushes", 0) + 1
         if count <= SMALL_FLUSH:
@@ -297,13 +314,9 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 if len(entries) >= l2_assoc:
                     old, _ = entries.popitem(last=False)
                     l2_ev_b += 1
-                    om = presence[old] & not_l2
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= not_l2
                 entries[p] = f
-                presence[p] = presence_get(p, 0) | l2bit
+                presence[p] |= l2bit
             pend_l2_p.clear()
             pend_l2_f.clear()
             for s in range(num_sms):
@@ -320,25 +333,16 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                     if len(entries) >= l1_assoc:
                         old, _ = entries.popitem(last=False)
                         evs += 1
-                        om = presence[old] & nbit
-                        if om:
-                            presence[old] = om
-                        else:
-                            del presence[old]
+                        presence[old] &= nbit
                     entries[p] = f
-                    presence[p] = presence_get(p, 0) | bit
+                    presence[p] |= bit
                 l1_ev_b[s] += evs
                 ps_l.clear()
                 fs_l.clear()
             return
         # Presence fixup rule: clear the evictees' bits first, then set
-        # the bit for every fill that actually survived in its set.  A
-        # page can appear in BOTH lists — a pressure-unflagged page that
-        # was still in the set when the batch cleared it and whose own
-        # fill then survived in the tail — and ends present, which the
-        # membership probe gets right where any fixed order would not.
-        # Batch-head evictees may never have had their bit set, hence
-        # the get-guard.
+        # the bit for every fill that actually survived in its set (a
+        # page can appear in both lists; membership probes decide).
         evicted: list[int] = []
         if l2_nsets == 1:
             l2_ev_b += apply_batched(l2_sets[0], pend_l2_p, pend_l2_f,
@@ -347,17 +351,10 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             l2_ev_b += _grouped_apply(l2_sets, l2_mask, l2_assoc,
                                       pend_l2_p, pend_l2_f, evicted)
         for old in evicted:
-            om = presence_get(old)
-            if om is None:
-                continue
-            om &= not_l2
-            if om:
-                presence[old] = om
-            else:
-                del presence[old]
+            presence[old] &= not_l2
         for p in pend_l2_p:
             if p in l2_sets[p & l2_mask]:
-                presence[p] = presence_get(p, 0) | l2bit
+                presence[p] |= l2bit
         pend_l2_p.clear()
         pend_l2_f.clear()
         for s in range(num_sms):
@@ -376,17 +373,10 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             nbit = sm_nbits[s]
             sets_s = l1_sets[s]
             for old in evicted:
-                om = presence_get(old)
-                if om is None:
-                    continue
-                om &= nbit
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
+                presence[old] &= nbit
             for p in ps_l:
                 if p in sets_s[p & l1_mask]:
-                    presence[p] = presence_get(p, 0) | bit
+                    presence[p] |= bit
             ps_l.clear()
             fs_l.clear()
 
@@ -422,15 +412,18 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     def shoot(victim: int) -> int:
         """Masked TLB shootdown for ``victim``; return the removal mask.
 
-        Exactly :meth:`repro.tlb.hierarchy.TLBHierarchy.shootdown` — the
-        same per-TLB live ``shootdowns`` counts — but driven by the
-        presence map, so only the structures holding the victim pay a
-        dict deletion and an absent victim costs one failed probe.
-        Caller must have flushed pending fills.
+        Same per-TLB live ``shootdowns`` counts as the hierarchy's
+        shootdown, driven by the flat presence mask.  A victim with a
+        deferred fill outstanding forces the flush first; any other
+        pending fills stay deferred (they are for distinct pages, so
+        the mask is accurate without them).
         """
-        mm = presence_pop(victim, 0)
+        if victim in pend_pages:
+            flush_pending()
+        mm = presence[victim]
         if not mm:
             return 0
+        presence[victim] = 0
         full = mm
         if mm & l2bit:
             del l2_sets[victim & l2_mask][victim]
@@ -471,14 +464,11 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
         return False
 
     def lean_fault(page: int) -> tuple[int, Optional[int], int, int]:
-        """Service one fault sans TLB fill; return (frame, victim,
+        """Service one scalar fault sans TLB fill; return (frame, victim,
         shootdown-removal mask, bytes moved).
 
-        Inlines ``UVMDriver.service_fault`` for the obs-free,
-        checker-free, prefetch-free configuration this kernel accepts,
-        with two changes: driver counters accumulate in kernel locals
-        (folded at the end) and the victim's TLB shootdown goes through
-        the presence-masked :func:`shoot`.
+        Inlines ``UVMDriver.service_fault`` exactly as v2 does, with the
+        flat residency view kept live.
         """
         nonlocal fault_no, d_comp, d_cap, d_evict, d_bin, d_bout
         if pend_l2_p:
@@ -494,12 +484,10 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
         rm_mask = 0
         if not free_list:
             victim = policy_select_victim()
-            # Inlined page_table.invalidate (same exception contract).
             ve = pt_entries.get(victim)
             if ve is None or not ve.valid:
                 raise KeyError(f"page {victim:#x} has no valid mapping")
             ve.valid = False
-            # Inlined frame_pool.unmap_page.
             try:
                 vframe = fop.pop(victim)
             except KeyError:
@@ -511,7 +499,6 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             rm_mask = shoot(victim)
             d_evict += 1
             d_bout += page_size
-        # Inlined frame_pool.map_page + page_table.install.
         frame = free_list.pop()
         fop[page] = frame
         pof[frame] = page
@@ -533,14 +520,11 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     def vector_hit_timing(g: int, m: int) -> None:
         """Advance the clock over ``m`` consecutive walk-hit events.
 
-        Events issue round-robin over warps; within one block of
-        ``total_warps`` events, column ``d`` of the ``(W, S)`` reshape is
-        one SM's in-order issue stream, so the per-SM recurrence
-        ``X[k] = max(X[k-1] + 1, ready[k])`` collapses to a running
-        maximum of ``ready[k] - k``.  Once a block satisfies
-        ``X_b == X_{b-1} + L`` the recurrence is a fixed point (each
-        block shifts by exactly the hit latency), so the remaining
-        blocks are extrapolated in O(1).
+        The per-SM in-order recurrence ``X[k] = max(X[k-1]+1, ready[k])``
+        collapses to a running maximum of ``ready[k]-k`` per block of
+        ``total_warps`` events; once a block is a fixed point (each
+        block shifts by exactly the hit latency) the rest extrapolates
+        in O(1).
         """
         latency = walk_hit_total
         full = m // total_warps if m >= total_warps else 0
@@ -594,8 +578,8 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
         """Advance the clock over consecutive fault events.
 
         Fault service serializes through the single fault queue:
-        ``fq[c] = max(begin[c], fq[c-1]) + svc[c]``, which expands to a
-        prefix maximum of ``begin[c] - cum_svc[c-1]`` — one
+        ``fq[c] = max(begin[c], fq[c-1]) + svc[c]`` expands to a prefix
+        maximum of ``begin[c] - cum_svc[c-1]`` — one
         ``np.maximum.accumulate`` per block.
         """
         nonlocal fq
@@ -681,6 +665,7 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
         distribute_l1_misses(g, m)
         pend_l2_p.extend(pages_run)
         pend_l2_f.extend(frames)
+        pend_pages.update(pages_run)
         for s in range(num_sms):
             idx0 = (s - g) % num_sms
             if idx0 < m:
@@ -688,78 +673,164 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 pend_l1_f[s].extend(frames[idx0::num_sms])
         vector_hit_timing(g, m)
 
-    def free_fault_run(g: int, pages_run: list[int]) -> None:
-        """Replay consecutive compulsory faults onto free frames.
+    def fault_run(
+        g: int,
+        pages_run: list[int],
+        on_evict: Callable[[int, int], None],
+    ) -> None:
+        """A run of faults, serviced in capacity-bounded batched chunks.
 
-        Caller guarantees: no page previously touched, enough free
-        frames for the whole run → no evictions, no capacity faults.
+        Per chunk: all victims are selected up front through the
+        policy's batch API (R1/R2), evicted with presence-masked
+        shootdowns, then every page faults in *in order* — so the fault
+        sequence numbers, HIR/interval boundaries, first-touch
+        classification, and per-fault PCIe byte charges all match the
+        reference relative to the fault stream.  ``on_evict`` receives
+        each (victim, removal-mask) so the caller can flip the victim's
+        future segment position and audit its pressure proofs.
         """
-        nonlocal d_comp, d_bin, fault_no, l2_misses_b, walks_b, wfaults_b
-        m = len(pages_run)
+        nonlocal fault_no, d_comp, d_cap, d_evict, d_bin, d_bout
+        nonlocal l2_misses_b, walks_b, wfaults_b
+        total = len(pages_run)
         if dbg is not None:
-            dbg["free_run_events"] = dbg.get("free_run_events", 0) + m
-        # Free frames pop from the tail; slice + reverse replicates the
-        # per-fault pop order.
-        frames = free_list[-m:][::-1]
-        del free_list[-m:]
-        base_service = transfer_memo.get(page_size)
-        if base_service is None:
-            base_service = fault_cycles + transfer_cycles(page_size)
-            transfer_memo[page_size] = base_service
-        fno = fault_no
-        services: list[int]
-        if consume_bytes is None and not has_pending_cb:
-            services = [base_service] * m
-            if lru_chain is not None:
-                for j, p in enumerate(pages_run):
-                    fno += 1
-                    f = frames[j]
-                    fop[p] = f
-                    pof[f] = p
-                    pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
-                    lru_chain[p] = None
+            dbg["fault_run_events"] = \
+                dbg.get("fault_run_events", 0) + total
+        l2_misses_b += total
+        walks_b += total
+        wfaults_b += total
+        distribute_l1_misses(g, total)
+        base1 = transfer_memo.get(page_size)
+        if base1 is None:
+            base1 = fault_cycles + transfer_cycles(page_size)
+            transfer_memo[page_size] = base1
+        base2 = transfer_memo.get(2 * page_size)
+        if base2 is None:
+            base2 = fault_cycles + transfer_cycles(2 * page_size)
+            transfer_memo[2 * page_size] = base2
+        done = 0
+        while done < total:
+            if dbg is not None:
+                dbg["fault_chunks"] = dbg.get("fault_chunks", 0) + 1
+            # A chunk never exceeds capacity, so its victims are all
+            # resident at chunk start and the batch drain cannot starve.
+            avail = len(free_list) + len(fop)
+            m = total - done
+            if m > avail:
+                m = avail
+            # Stock LRU's victim sequence is chunk-size-invariant (every
+            # victim predates every chunk page-in), so only adaptive
+            # policies need the drift-bounding small chunks.
+            if lru_chain is None and m > FAULT_CHUNK:
+                m = FAULT_CHUNK
+            if dbg is not None and m > dbg.get("max_fault_chunk", 0):
+                dbg["max_fault_chunk"] = m
+            chunk = pages_run[done:done + m]
+            need = m - len(free_list)
+            if need > 0:
+                victims = select_victims_batch(need)
+                if dbg is not None:
+                    dbg["batched_evictions"] = \
+                        dbg.get("batched_evictions", 0) + need
+                for v in victims:
+                    ve = pt_entries.get(v)
+                    if ve is None or not ve.valid:
+                        raise KeyError(
+                            f"page {v:#x} has no valid mapping"
+                        )
+                    ve.valid = False
+                    try:
+                        vframe = fop.pop(v)
+                    except KeyError:
+                        raise KeyError(
+                            f"page {v:#x} is not resident"
+                        ) from None
+                    del pof[vframe]
+                    free_list.append(vframe)
+                    on_evict(v, shoot(v))
+                d_evict += need
+                d_bout += need * page_size
             else:
-                for j, p in enumerate(pages_run):
+                need = 0
+            free_n = m - need
+            # Free frames pop from the tail; slice + reverse mirrors the
+            # per-fault pop order (frame identity is metric-invisible).
+            frames = free_list[-m:][::-1]
+            del free_list[-m:]
+            fno = fault_no
+            if consume_bytes is None:
+                # Constant per-fault service cycles: build the vector
+                # once instead of appending inside the install loop.
+                services = [base1] * free_n + [base2] * need
+                if lru_chain is not None and not has_pending_cb:
+                    # Stock LRU: the chain update is one dict store.
+                    for p, f in zip(chunk, frames):
+                        fno += 1
+                        if p in ever_touched:
+                            d_cap += 1
+                        else:
+                            ever_touched.add(p)
+                            d_comp += 1
+                        fop[p] = f
+                        pof[f] = p
+                        pt_entries[p] = PageTableEntry(
+                            frame=f, faulted_at=fno)
+                        lru_chain[p] = None
+                else:
+                    for p, f in zip(chunk, frames):
+                        fno += 1
+                        if p in ever_touched:
+                            d_cap += 1
+                        else:
+                            ever_touched.add(p)
+                            d_comp += 1
+                        if has_pending_cb:
+                            policy_on_fault_pending(p)
+                        fop[p] = f
+                        pof[f] = p
+                        pt_entries[p] = PageTableEntry(
+                            frame=f, faulted_at=fno)
+                        if lru_chain is not None:
+                            lru_chain[p] = None
+                        else:
+                            policy_on_page_in(p, fno)
+            else:
+                services = []
+                sap = services.append
+                for j, p in enumerate(chunk):
                     fno += 1
+                    if p in ever_touched:
+                        d_cap += 1
+                    else:
+                        ever_touched.add(p)
+                        d_comp += 1
+                    if has_pending_cb:
+                        policy_on_fault_pending(p)
                     f = frames[j]
                     fop[p] = f
                     pof[f] = p
                     pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
-                    policy_on_page_in(p, fno)
-        else:
-            services = []
-            sap = services.append
-            for j, p in enumerate(pages_run):
-                fno += 1
-                if has_pending_cb:
-                    policy_on_fault_pending(p)
-                f = frames[j]
-                fop[p] = f
-                pof[f] = p
-                pt_entries[p] = PageTableEntry(frame=f, faulted_at=fno)
-                policy_on_page_in(p, fno)
-                svc = base_service
-                if consume_bytes is not None:
+                    if lru_chain is not None:
+                        lru_chain[p] = None
+                    else:
+                        policy_on_page_in(p, fno)
+                    svc = base1 if j < free_n else base2
                     extra = consume_bytes()
                     if extra:
                         svc += transfer_cycles(extra)
-                sap(svc)
-        fault_no = fno
-        ever_touched.update(pages_run)
-        d_comp += m
-        d_bin += m * page_size
-        l2_misses_b += m
-        walks_b += m
-        wfaults_b += m
-        distribute_l1_misses(g, m)
-        pend_l2_p.extend(pages_run)
-        pend_l2_f.extend(frames)
-        for s in range(num_sms):
-            idx0 = (s - g) % num_sms
-            if idx0 < m:
-                pend_l1_p[s].extend(pages_run[idx0::num_sms])
-                pend_l1_f[s].extend(frames[idx0::num_sms])
-        vector_fault_timing(g, services)
+                    sap(svc)
+            fault_no = fno
+            d_bin += m * page_size
+            pend_l2_p.extend(chunk)
+            pend_l2_f.extend(frames)
+            pend_pages.update(chunk)
+            gc = g + done
+            for s in range(num_sms):
+                idx0 = (s - gc) % num_sms
+                if idx0 < m:
+                    pend_l1_p[s].extend(chunk[idx0::num_sms])
+                    pend_l1_f[s].extend(frames[idx0::num_sms])
+            vector_fault_timing(gc, services)
+            done += m
 
     def scalar_generic(i0: int, count: int) -> None:
         """Exact v1 loop body over ``trace[i0:i0+count]``.
@@ -799,11 +870,7 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 if len(entries) >= l1_assoc:
                     old, _ = entries.popitem(last=False)
                     l1_ev_b[s] += 1
-                    om = presence[old] & sm_nbits[s]
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= sm_nbits[s]
                 entries[page] = 0
                 presence[page] |= sm_bits[s]
                 warp_ready[w] = start + l2_hit_total
@@ -821,22 +888,14 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 if len(entries) >= l1_assoc:
                     old, _ = entries.popitem(last=False)
                     l1_ev_b[s] += 1
-                    om = presence[old] & sm_nbits[s]
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= sm_nbits[s]
                 entries[page] = frame
                 if len(l2_entries) >= l2_assoc:
                     old, _ = l2_entries.popitem(last=False)
                     l2_ev_b += 1
-                    om = presence[old] & not_l2
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= not_l2
                 l2_entries[page] = frame
-                presence[page] = presence_get(page, 0) | sm_bits[s] | l2bit
+                presence[page] |= sm_bits[s] | l2bit
                 warp_ready[w] = start + walk_hit_total
                 continue
 
@@ -849,20 +908,12 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             if len(entries) >= l1_assoc:
                 old, _ = entries.popitem(last=False)
                 l1_ev_b[s] += 1
-                om = presence[old] & sm_nbits[s]
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
+                presence[old] &= sm_nbits[s]
             entries[page] = frame
             if len(l2_entries) >= l2_assoc:
                 old, _ = l2_entries.popitem(last=False)
                 l2_ev_b += 1
-                om = presence[old] & not_l2
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
+                presence[old] &= not_l2
             l2_entries[page] = frame
             # A faulting page was non-resident, hence in no TLB.
             presence[page] = sm_bits[s] | l2bit
@@ -889,57 +940,47 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
     def process_segment(g0: int, seg_len: int, depth: int = 0) -> None:
         """Replay one distinct-page segment with batch classification.
 
-        ``depth`` counts degrade-and-reclassify recursions; past a fixed
-        bound the remainder is replayed scalar instead (an adversarial
-        trace could otherwise degrade every few events and overflow the
-        interpreter stack).
+        Classification is v2's exact scheme — residency + own-presence
+        candidates, pressure-refinement proofs, flagged events live-
+        probed, evictions flipped into the fault class — computed here
+        with vector gathers over the flat presence/residency arrays.
+        ``depth`` bounds degrade-and-reclassify recursion exactly as in
+        v2.
         """
         if dbg is not None:
             dbg["segments"] = dbg.get("segments", 0) + 1
         nonlocal l2_hits_b, l2_misses_b, l2_ev_b
         nonlocal walks_b, whits_b, wfaults_b, fq
-        nonlocal fault_no, d_comp, d_cap, d_evict, d_bin, d_bout
         seg = pages_arr[g0:g0 + seg_len]
         seg_list = seg.tolist()
         flush_pending()
 
-        # --- residency + TLB-presence classification ------------------
-        # One python pass over the segment replaces the per-structure
-        # np.isin sweeps: residency is a frame-map probe, TLB presence
-        # one presence-map probe, and the issuing level falls out of the
-        # mask bits.  Only *own* presence — the issuing SM's L1 or the
-        # L2 — makes a position a candidate: a page parked solely in
-        # another SM's private L1 still misses both probed levels, so
-        # its event is a guaranteed hit-class insert.
-        res_ba = bytearray(seg_len)
-        cand_idx: list[int] = []
-        cand_masks: list[int] = []
-        i = 0
-        sm0 = g0 % num_sms
-        for p in seg_list:
-            if p in fop:
-                res_ba[i] = 1
-            m = presence_get(p)
-            if m is not None and (m & l2bit or m >> ((sm0 + i) % num_sms) & 1):
-                cand_idx.append(i)
-                cand_masks.append(m)
-            i += 1
+        # --- vectorized residency + candidate classification ----------
+        # Only *own* presence — the issuing SM's L1 or the L2 — makes a
+        # position a candidate: a page parked solely in another SM's
+        # private L1 still misses both probed levels, so its event is a
+        # guaranteed hit-class insert.
+        pm = np.fromiter((presence[p] for p in seg_list),
+                         dtype=np.int64, count=seg_len)
+        res_np = np.fromiter((p in fop for p in seg_list),
+                             dtype=bool, count=seg_len)
+        sm_idx = (g0 + np.arange(seg_len, dtype=np.int64)) % num_sms
+        own_np = (pm >> sm_idx) & 1 == 1
+        l2p_np = (pm & l2bit) != 0
+        cand_np: Any = own_np | l2p_np
 
         # --- pressure refinement: a candidate whose L1 set *and* L2 set
         # each receive >= associativity guaranteed inserts (non-candidate
         # events) before its position is provably evicted by then — as
         # long as no shootdown removes entries from those sets first
         # (tracked via fr1_max/fr2_max).
-        flag_ba = bytearray(seg_len)
         fr1_max.clear()
         fr2_max.clear()
-        cand_np: Any = None
-        if cand_idx:
-            cand_np = np.zeros(seg_len, dtype=bool)
-            cand_np[cand_idx] = True
+        flag_np = cand_np.copy()
+        if bool(cand_np.any()):
             noncand = ~cand_np
-            sm_idx = (g0 + np.arange(seg_len, dtype=np.int64)) % num_sms
             press1: Any = None
+            key1: Any = None
             if num_sms * l1_nsets <= MAX_REFINE_KEYS:
                 if l1_nsets == 1:
                     key1 = sm_idx
@@ -948,7 +989,7 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 press1 = np.zeros(seg_len, dtype=bool)
                 # Order-free: each key selects a disjoint mask and the
                 # per-key writes never overlap.
-                for k in set(key1[cand_np].tolist()):  # noqa: REP012
+                for k in np.unique(key1[cand_np]).tolist():
                     mk = key1 == k
                     counts = np.cumsum(noncand & mk)
                     press1[mk] = counts[mk] >= l1_assoc
@@ -957,58 +998,53 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 key2 = seg & l2_mask
                 press2 = np.zeros(seg_len, dtype=bool)
                 # Order-free: disjoint masks, as above.
-                for k in set(key2[cand_np].tolist()):  # noqa: REP012
+                for k in np.unique(key2[cand_np]).tolist():
                     mk = key2 == k
                     counts = np.cumsum(noncand & mk)
                     press2[mk] = counts[mk] >= l2_assoc
-            for ci in range(len(cand_idx)):
-                i = cand_idx[ci]
-                m = cand_masks[ci]
-                s = (sm0 + i) % num_sms
-                frag1 = False
-                frag2 = False
-                ok = True
-                if m >> s & 1:
-                    if press1 is not None and press1[i]:
-                        frag1 = True
-                    else:
-                        ok = False
-                if ok and m & l2bit:
-                    if press2 is not None and press2[i]:
-                        frag2 = True
-                    else:
-                        ok = False
-                if not ok:
-                    flag_ba[i] = 1
-                    continue
-                if frag1:
-                    k = s * l1_nsets + (seg_list[i] & l1_mask)
+            # A candidate unflags only when every level it occupies is
+            # provably flushed by pressure before its event (residency
+            # plays no part: an unflagged non-resident candidate is a
+            # guaranteed fault, exactly as in v2).
+            ok_np = cand_np.copy()
+            if press1 is not None:
+                ok_np &= ~own_np | press1
+            else:
+                ok_np &= ~own_np
+            if press2 is not None:
+                ok_np &= ~l2p_np | press2
+            else:
+                ok_np &= ~l2p_np
+            flag_np = cand_np & ~ok_np
+            # Registries of the rightmost pressure-unflagged position
+            # per set — consulted by shoot_degrades.
+            for i in np.flatnonzero(ok_np).tolist():
+                if bool(own_np[i]):
+                    k = int(key1[i]) if key1 is not None else 0
                     if fr1_max.get(k, -1) < i:
                         fr1_max[k] = i
-                if frag2:
+                if bool(l2p_np[i]):
                     k = seg_list[i] & l2_mask
                     if fr2_max.get(k, -1) < i:
                         fr2_max[k] = i
 
-        res_u8 = np.frombuffer(bytes(res_ba), dtype=np.uint8)
-        flag_u8 = np.frombuffer(bytes(flag_ba), dtype=np.uint8)
-        fault_np = (res_u8 | flag_u8) == 0
-        fault_ba = bytearray(fault_np.tobytes())
-        specials = np.flatnonzero((res_u8 == 0) | (flag_u8 != 0)).tolist()
+        fault_ba = bytearray(np.asarray(~res_np).tobytes())
+        flag_ba = bytearray(np.asarray(flag_np).tobytes())
+        specials = np.flatnonzero(~res_np | flag_np).tolist()
         nsp = len(specials)
         sp = 0
         flips: list[int] = []
         flip_set: set[int] = set()
-        pos_map: Optional[dict[int, int]] = None
+        pos_map: dict[int, int] = {p: i for i, p in enumerate(seg_list)}
+        pos_get = pos_map.get
+        degrade_flag = False
 
         def note_eviction(victim: int, t: int) -> None:
             """Flip the victim's future position into the fault class."""
-            nonlocal pos_map
-            if pos_map is None:
-                pos_map = {p: i for i, p in enumerate(seg_list)}
-            vt = pos_map.get(victim)
+            vt = pos_get(victim)
             if vt is not None and vt > t and vt not in flip_set:
                 flip_set.add(vt)
+                fault_ba[vt] = 1
                 if flag_ba[vt]:
                     # Evicted + shot down before its event → guaranteed
                     # fault; drop the flag so the fault path handles it.
@@ -1028,10 +1064,10 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             """
             if not rm_mask or (not fr1_max and not fr2_max):
                 return False
-            vt = pos_map.get(victim) if pos_map is not None else None
+            vt = pos_get(victim)
             if vt is None or vt >= t:
                 return False
-            if cand_np is not None and cand_np[vt]:
+            if bool(cand_np[vt]):
                 return False
             return shoot_degrades(rm_mask, victim, t)
 
@@ -1066,11 +1102,7 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 if len(entries) >= l1_assoc:
                     old, _ = entries.popitem(last=False)
                     l1_ev_b[s] += 1
-                    om = presence[old] & sm_nbits[s]
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= sm_nbits[s]
                 entries[page] = 0
                 presence[page] |= sm_bits[s]
                 warp_ready[w] = start + l2_hit_total
@@ -1087,22 +1119,14 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                 if len(entries) >= l1_assoc:
                     old, _ = entries.popitem(last=False)
                     l1_ev_b[s] += 1
-                    om = presence[old] & sm_nbits[s]
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= sm_nbits[s]
                 entries[page] = frame
                 if len(l2_entries) >= l2_assoc:
                     old, _ = l2_entries.popitem(last=False)
                     l2_ev_b += 1
-                    om = presence[old] & not_l2
-                    if om:
-                        presence[old] = om
-                    else:
-                        del presence[old]
+                    presence[old] &= not_l2
                 l2_entries[page] = frame
-                presence[page] = presence_get(page, 0) | sm_bits[s] | l2bit
+                presence[page] |= sm_bits[s] | l2bit
                 warp_ready[w] = start + walk_hit_total
                 return False
             wfaults_b += 1
@@ -1114,20 +1138,12 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             if len(entries) >= l1_assoc:
                 old, _ = entries.popitem(last=False)
                 l1_ev_b[s] += 1
-                om = presence[old] & sm_nbits[s]
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
+                presence[old] &= sm_nbits[s]
             entries[page] = frame
             if len(l2_entries) >= l2_assoc:
                 old, _ = l2_entries.popitem(last=False)
                 l2_ev_b += 1
-                om = presence[old] & not_l2
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
+                presence[old] &= not_l2
             l2_entries[page] = frame
             presence[page] = sm_bits[s] | l2bit
             if consume_bytes is not None:
@@ -1145,10 +1161,11 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
             return False
 
         t = 0
-        scan_blocked_until = 0
         while t < seg_len:
             while sp < nsp and specials[sp] < t:
                 sp += 1
+            while flips and flips[0] < t:
+                heapq.heappop(flips)
             nxt = specials[sp] if sp < nsp else seg_len
             if flips and flips[0] < nxt:
                 nxt = flips[0]
@@ -1174,156 +1191,42 @@ def replay(sim: "UVMSimulator", trace: Sequence[int]) -> int:
                     return
                 t += 1
                 continue
-            # Fault event.  First try to batch a compulsory run onto
-            # free frames (scan result is remembered so a rejected run
-            # is not rescanned fault by fault).
-            if free_list and fault_ba[t] and t >= scan_blocked_until:
-                limit = t + len(free_list)
-                if limit > seg_len:
-                    limit = seg_len
-                if limit - t >= MIN_FREE_RUN:
-                    stop_rel = np.flatnonzero(~fault_np[t:limit])
-                    end = t + int(stop_rel[0]) if stop_rel.size else limit
-                    if (
-                        end - t >= MIN_FREE_RUN
-                        and ever_touched.isdisjoint(seg_list[t:end])
+            # Fault position: extend over every consecutive fault-class
+            # event (original non-residents plus flipped victims) and
+            # service the whole run batched.
+            run_start = t
+            e = t + 1
+            while e < seg_len and fault_ba[e] and not flag_ba[e]:
+                e += 1
+
+            def on_evict(victim: int, rm_mask: int) -> None:
+                nonlocal degrade_flag
+                vt = pos_get(victim)
+                if vt is not None:
+                    if vt > run_start and vt not in flip_set:
+                        flip_set.add(vt)
+                        fault_ba[vt] = 1
+                        if flag_ba[vt]:
+                            flag_ba[vt] = 0
+                        heapq.heappush(flips, vt)
+                    elif (
+                        rm_mask
+                        and vt < run_start
+                        and (fr1_max or fr2_max)
+                        and not cand_np[vt]
+                        and shoot_degrades(rm_mask, victim, run_start)
                     ):
-                        free_fault_run(g0 + t, seg_list[t:end])
-                        t = end
-                        continue
-                    scan_blocked_until = end
-            # --- inlined scalar fault (the eviction-chain hot path):
-            # lean_fault + eager TLB fills with presence updates, plus
-            # LRU/base-policy specializations resolved outside the loop.
-            if dbg is not None:
-                dbg["fault_events"] = dbg.get("fault_events", 0) + 1
-            if pend_l2_p:
-                flush_pending()
-            g = g0 + t
-            page = seg_list[t]
-            w = g % total_warps
-            s = g % num_sms
-            start = sm_issue[s]
-            ready_w = warp_ready[w]
-            if ready_w > start:
-                start = ready_w
-            sm_issue[s] = start + 1
-            l1_misses_b[s] += 1
-            l2_misses_b += 1
-            walks_b += 1
-            wfaults_b += 1
-            fault_no += 1
-            if page in ever_touched:
-                d_cap += 1
-            else:
-                ever_touched.add(page)
-                d_comp += 1
-            if has_pending_cb:
-                policy_on_fault_pending(page)
-            victim: Optional[int] = None
-            rm_mask = 0
-            if free_list:
-                frame = free_list.pop()
-                pt_entries[page] = PageTableEntry(
-                    frame=frame, faulted_at=fault_no
-                )
-                moved = page_size
-            else:
-                if lru_chain is not None and lru_chain:
-                    victim = lru_chain.popitem(last=False)[0]
-                else:
-                    victim = policy_select_victim()
-                ve = pt_entries.get(victim)
-                if ve is None or not ve.valid:
-                    raise KeyError(
-                        f"page {victim:#x} has no valid mapping"
-                    )
-                del pt_entries[victim]
-                try:
-                    frame = fop.pop(victim)
-                except KeyError:
-                    raise KeyError(
-                        f"page {victim:#x} is not resident"
-                    ) from None
-                # Masked shootdown (pending fills were flushed above);
-                # identical to shoot(), inlined on the chain path.
-                mm = presence_pop(victim, 0)
-                rm_mask = mm
-                if mm:
-                    if mm & l2bit:
-                        del l2_sets[victim & l2_mask][victim]
-                        l2_stats.shootdowns += 1
-                        mm &= not_l2
-                    while mm:
-                        b = mm & -mm
-                        s2 = b.bit_length() - 1
-                        del l1_sets[s2][victim & l1_mask][victim]
-                        l1_stats[s2].shootdowns += 1
-                        mm ^= b
-                d_evict += 1
-                d_bout += page_size
-                # Reuse the victim's entry object in place of
-                # page_table.invalidate + install: the tombstone and a
-                # fresh entry are observably identical (the collector
-                # reads counters, never entry identity), and this saves
-                # an allocation per chain fault.
-                ve.frame = frame
-                ve.faulted_at = fault_no
-                ve.walk_hits = 0
-                pt_entries[page] = ve
-                moved = page_size + page_size
-            fop[page] = frame
-            pof[frame] = page
-            d_bin += page_size
-            if lru_chain is not None:
-                lru_chain[page] = None
-            else:
-                policy_on_page_in(page, fault_no)
-            service = transfer_memo.get(moved)
-            if service is None:
-                service = fault_cycles + transfer_cycles(moved)
-                transfer_memo[moved] = service
-            entries = l1_sets[s][page & l1_mask]
-            if len(entries) >= l1_assoc:
-                old, _ = entries.popitem(last=False)
-                l1_ev_b[s] += 1
-                om = presence[old] & sm_nbits[s]
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
-            entries[page] = frame
-            l2_entries = l2_sets[page & l2_mask]
-            if len(l2_entries) >= l2_assoc:
-                old, _ = l2_entries.popitem(last=False)
-                l2_ev_b += 1
-                om = presence[old] & not_l2
-                if om:
-                    presence[old] = om
-                else:
-                    del presence[old]
-            l2_entries[page] = frame
-            presence[page] = sm_bits[s] | l2bit
-            if consume_bytes is not None:
-                extra = consume_bytes()
-                if extra:
-                    service += transfer_cycles(extra)
-            begin = start + fault_begin_latency
-            if fq > begin:
-                begin = fq
-            fq = begin + service
-            warp_ready[w] = fq
-            if victim is not None:
-                note_eviction(victim, t)
-                if shoot_invalidates(rm_mask, victim, t):
-                    t += 1
-                    rem = seg_len - t
-                    if rem >= MIN_SEGMENT and depth < 32:
-                        process_segment(g0 + t, rem, depth + 1)
-                    elif rem > 0:
-                        scalar_generic(g0 + t, rem)
-                    return
-            t += 1
+                        degrade_flag = True
+
+            fault_run(g0 + run_start, seg_list[run_start:e], on_evict)
+            t = e
+            if degrade_flag:
+                rem = seg_len - t
+                if rem >= MIN_SEGMENT and depth < 32:
+                    process_segment(g0 + t, rem, depth + 1)
+                elif rem > 0:
+                    scalar_generic(g0 + t, rem)
+                return
 
     # --- main loop -----------------------------------------------------
     i = 0

@@ -12,6 +12,7 @@ from __future__ import annotations
 import pytest
 
 from repro.check import InvariantChecker, InvariantViolation
+from repro.core import soa
 from repro.core.hpe import HPEConfig, HPEPolicy
 from repro.core.pageset import COUNTER_CAP, PageSetEntry, SetPart
 from repro.policies.lru import LRUPolicy
@@ -36,12 +37,36 @@ def _run_simulator(policy) -> UVMSimulator:
     return simulator
 
 
-def _first_nonempty_partition(chain) -> dict:
+def _first_nonempty_partition(chain) -> list:
+    """``(key, entry)`` pairs of the first populated partition."""
     return next(
-        partition
-        for partition in (chain._old, chain._middle, chain._new)
-        if partition
+        items
+        for items in (
+            list(chain.partition_items(p)) for p in (soa.OLD, soa.MIDDLE, soa.NEW)
+        )
+        if items
     )
+
+
+def _force_chain_entry(chain, entry, partition=soa.NEW) -> None:
+    """Link *entry* into a partition bypassing ``insert`` bookkeeping.
+
+    Reproduces what the pre-SoA tests did with a raw
+    ``chain._new[key] = entry`` dict write: the slot is threaded into
+    the target partition's list without the duplicate-key check, the
+    way a buggy division or a P1/P2 pointer bug would corrupt the SoA
+    chain.
+    """
+    inner = chain._chain
+    if not inner._free:
+        inner._grow()
+    slot = inner._free.pop()
+    inner._keys[slot] = entry.key
+    inner._payloads[slot] = entry
+    inner._slot.setdefault(entry.key, slot)
+    # stamp such that `intervals - stamp` derives the target partition
+    inner._stamp[slot] = inner.intervals - (soa.NEW - partition)
+    inner._link_tail(slot, partition)
 
 
 @pytest.fixture
@@ -169,18 +194,24 @@ def test_fault_kinds_must_sum(lru_sim: UVMSimulator) -> None:
 def test_chain_link_in_two_partitions(hpe_sim: UVMSimulator) -> None:
     """P1/P2 corruption: the same key chained in two partitions."""
     chain = hpe_sim.policy.chain
-    key, entry = next(iter(_first_nonempty_partition(chain).items()))
-    for partition in (chain._new, chain._middle, chain._old):
-        if key not in partition:
-            partition[key] = entry
-            break
+    key, entry = _first_nonempty_partition(chain)[0]
+    inner = chain._chain
+    current = inner._partition_of_slot(inner._slot[key])
+    other = next(
+        p for p in (soa.NEW, soa.MIDDLE, soa.OLD) if p != current
+    )
+    _force_chain_entry(chain, entry, partition=other)
     _expect(hpe_sim, "chain-partition")
 
 
 def test_chain_entry_filed_under_wrong_key(hpe_sim: UVMSimulator) -> None:
-    partition = _first_nonempty_partition(hpe_sim.policy.chain)
-    key = next(iter(partition))
-    partition[(key[0] ^ 0x1, key[1])] = partition.pop(key)
+    chain = hpe_sim.policy.chain
+    key, _entry = _first_nonempty_partition(chain)[0]
+    inner = chain._chain
+    slot = inner._slot.pop(key)
+    wrong = (key[0] ^ 0x1, key[1])
+    inner._keys[slot] = wrong
+    inner._slot[wrong] = slot
     _expect(hpe_sim, "chain-partition")
 
 
@@ -245,7 +276,7 @@ def test_divided_halves_overlap(hpe_sim: UVMSimulator) -> None:
         resident_mask=0,
     )
     # Bypass chain.insert bookkeeping exactly like a buggy division would.
-    chain._new[secondary.key] = secondary
+    _force_chain_entry(chain, secondary)
     with pytest.raises(InvariantViolation) as excinfo:
         InvariantChecker(hpe_sim).check_all()
     # The zero-resident synthetic secondary trips chain-resident first
@@ -278,7 +309,7 @@ def test_undivided_primary_with_secondary(hpe_sim: UVMSimulator) -> None:
         bit_vector=offset_bit,
         resident_mask=offset_bit,
     )
-    chain._new[secondary.key] = secondary
+    _force_chain_entry(chain, secondary)
     violation = _expect(hpe_sim, "divided-disjoint")
     assert "not marked divided" in str(violation)
 

@@ -209,3 +209,45 @@ class TestMatrixSpec:
         described = json.loads(json.dumps(spec.describe()))
         assert described["run_id"] == spec.run_id()
         assert described["cells"] == 1
+
+
+class TestFastpathField:
+    """The requested simulator tier in the identity (relaxed only)."""
+
+    def test_bit_exact_tiers_share_one_identity(self):
+        base = ScenarioSpec(workload="BFS", policy="lru", rate=0.75)
+        for level in (0, 1, 2):
+            pinned = ScenarioSpec(workload="BFS", policy="lru", rate=0.75,
+                                  fastpath=level)
+            assert pinned.digest() == base.digest(), level
+
+    def test_relaxed_tier_hashes_differently(self):
+        base = ScenarioSpec(workload="BFS", policy="lru", rate=0.75)
+        relaxed = ScenarioSpec(workload="BFS", policy="lru", rate=0.75,
+                               fastpath=3)
+        assert relaxed.digest() != base.digest()
+        assert "fastpath=3" in relaxed.canonical()
+        assert "fastpath" not in base.canonical()
+
+    def test_out_of_range_tier_rejected(self):
+        for bad in (-1, 4, 99):
+            with pytest.raises(ScenarioError, match="fastpath"):
+                ScenarioSpec(workload="BFS", policy="lru", rate=0.75,
+                             fastpath=bad)
+
+    def test_from_dict_accepts_fastpath(self):
+        spec = ScenarioSpec.from_dict({
+            "workload": "BFS", "policy": "lru", "rate": 0.75,
+            "fastpath": 3,
+        })
+        assert spec.fastpath == 3
+        assert spec.describe()["fastpath"] == 3
+
+    def test_run_spec_threads_the_tier_to_the_engine(self):
+        from repro.experiments.runner import run_spec
+
+        spec = ScenarioSpec(workload="STN", policy="lru", rate=0.75,
+                            scale=0.25, fastpath=3)
+        result = run_spec(spec, use_cache=False)
+        assert result.extras["fastpath"]["requested"] == 3
+        assert result.extras["fastpath"]["executed"] == 3

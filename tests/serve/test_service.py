@@ -362,3 +362,35 @@ class TestSummarize:
         json.dumps(summary)  # must not raise
         assert summary["cells_total"] == 1
         assert summary["cells"][0]["metrics"]["ipc"] == 1.0
+
+
+class TestRelaxedTierRejection:
+    """Cell submissions must not smuggle in metric-equivalent tiers."""
+
+    def test_relaxed_fastpath_cell_is_rejected(self):
+        service = make_service(StubRunner())
+        try:
+            code, body = service.submit(
+                {"cell": dict(CELL_A, fastpath=3)}
+            )
+            assert code == 400
+            assert body["error"] == "invalid_spec"
+            assert "relaxed" in body["message"]
+        finally:
+            service.drain()
+
+    def test_bit_exact_fastpath_cell_is_normalised_away(self):
+        """Tiers 0-2 are bit-identical, so pinning one is accepted and
+        folds into the same grid identity as an unpinned cell."""
+        service = make_service(StubRunner())
+        try:
+            code, body = service.submit(
+                {"cell": dict(CELL_A, fastpath=2)}
+            )
+            assert code == 202
+            _, twin = service.submit({"cell": CELL_A})
+            # same spec-hash prefix: the pinned tier left the identity
+            assert twin["job_id"].rsplit("-", 1)[0] == \
+                body["job_id"].rsplit("-", 1)[0]
+        finally:
+            service.drain()
